@@ -1,0 +1,39 @@
+"""Figure 5: statistics on `.arb` database creation.
+
+One benchmark per database (Treebank, ACGT-infix, ACGT-flat, SwissProt); each
+builds the database with the two-pass procedure of Section 5 and prints the
+Figure-5 row (element/character nodes, tags, time, file sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.bench.figure5 import DATABASE_NAMES, Figure5Scale, build_figure5_database
+from repro.bench.reporting import format_table
+
+
+def _figure5_scale(scale) -> Figure5Scale:
+    return Figure5Scale(
+        treebank_nodes=scale.treebank_nodes,
+        acgt_exponent=scale.acgt_exponent,
+        swissprot_entries=scale.swissprot_entries,
+    )
+
+
+@pytest.mark.parametrize("name", DATABASE_NAMES)
+def test_figure5_database_creation(benchmark, tmp_path, scale, name):
+    figure_scale = _figure5_scale(scale)
+
+    def build():
+        return build_figure5_database(name, str(tmp_path), figure_scale)
+
+    stats = benchmark.pedantic(build, rounds=1, iterations=1)
+    row = stats.as_row()
+    benchmark.extra_info.update(row)
+    report(f"Figure 5 row: {name}", format_table([row]))
+    # Invariants from the paper: 2 bytes per node in .arb, the .evt file is
+    # twice the size of the .arb file (two 2-byte events per node).
+    assert stats.arb_file_size == 2 * stats.total_nodes
+    assert stats.evt_file_size == 2 * stats.arb_file_size

@@ -1,0 +1,30 @@
+"""Figure 6, third block: bottom-up regular path queries on ACGT-flat.
+
+Random ``w1.w2*.w3`` expressions over {A, C, G, T} with ``R = invNextSibling``
+matched against the flat (right-deep) sequence tree.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import current_scale, report
+from repro.bench.figure6 import run_query_batch
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.parametrize("size", current_scale().figure6_sizes)
+def test_figure6_acgt_flat_queries(benchmark, acgt_flat_tree_fixture, scale, size):
+    def run():
+        return run_query_batch(
+            "acgt-flat", acgt_flat_tree_fixture, size,
+            queries_per_size=scale.queries_per_size,
+        )
+
+    batch = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = batch.as_row()
+    benchmark.extra_info.update(row)
+    report(f"Figure 6 / ACGT-flat, query size {size}", format_table([row]))
+    # The paper's flat queries stay cheap: transition counts in the hundreds,
+    # memory essentially constant across sizes.
+    assert row["bu_transitions"] < 2_000

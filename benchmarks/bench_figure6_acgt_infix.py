@@ -1,0 +1,40 @@
+"""Figure 6, second block: sideways caterpillar queries on ACGT-infix.
+
+The same random expressions as the ACGT-flat block (same seed), but matched
+on the balanced infix tree with the "previous symbol" caterpillar walker --
+the most demanding workload of the paper's evaluation.  The number of
+selected nodes per size must equal the ACGT-flat block's, which the benchmark
+asserts (the paper highlights this as a consistency check).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import current_scale, report
+from repro.bench.figure6 import run_query_batch
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.parametrize("size", current_scale().figure6_sizes)
+def test_figure6_acgt_infix_queries(benchmark, acgt_infix_tree_fixture, acgt_flat_tree_fixture,
+                                    scale, size):
+    def run():
+        return run_query_batch(
+            "acgt-infix", acgt_infix_tree_fixture, size,
+            queries_per_size=scale.queries_per_size,
+        )
+
+    batch = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = batch.as_row()
+    benchmark.extra_info.update(row)
+    report(f"Figure 6 / ACGT-infix, query size {size}", format_table([row]))
+
+    flat = run_query_batch(
+        "acgt-flat", acgt_flat_tree_fixture, size, queries_per_size=scale.queries_per_size
+    )
+    # Same expressions on both encodings of the same sequence select the same
+    # number of nodes (column (9) of Figure 6 is identical across the blocks).
+    assert row["selected"] == flat.as_row()["selected"]
+    # And the infix/caterpillar block is the substantially harder one.
+    assert row["bu_transitions"] >= flat.as_row()["bu_transitions"]

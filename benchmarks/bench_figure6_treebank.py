@@ -1,0 +1,33 @@
+"""Figure 6, first block: top-down regular path queries on Treebank.
+
+Random ``w1.w2*.w3`` expressions over {NP, VP, PP, S} with
+``R = FirstChild.NextSibling*``, one benchmark per query size; each prints
+the averaged Figure-6 row (|IDB|, |P|, per-phase times and transition counts,
+selected nodes, memory estimate).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import current_scale, report
+from repro.bench.figure6 import run_query_batch
+from repro.bench.reporting import format_table
+
+
+@pytest.mark.parametrize("size", current_scale().figure6_sizes)
+def test_figure6_treebank_path_queries(benchmark, treebank_tree, scale, size):
+    def run():
+        return run_query_batch(
+            "treebank", treebank_tree, size, queries_per_size=scale.queries_per_size
+        )
+
+    batch = benchmark.pedantic(run, rounds=1, iterations=1)
+    row = batch.as_row()
+    benchmark.extra_info.update(row)
+    report(f"Figure 6 / Treebank, query size {size}", format_table([row]))
+    # Shape checks mirroring the paper: program size grows linearly with the
+    # query size, and the per-phase transition tables stay tiny compared to
+    # the number of nodes (the whole point of lazy evaluation).
+    assert row["|IDB|"] >= size
+    assert row["bu_transitions"] < len(treebank_tree) / 10

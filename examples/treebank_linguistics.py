@@ -1,0 +1,59 @@
+"""Linguistics example: regular path queries over (synthetic) Penn Treebank.
+
+Reproduces the flavour of the paper's first benchmark thread: random
+``w1.w2*.w3`` regular path queries over the phrase tags {S, NP, VP, PP},
+navigating downwards with "some child" steps, plus the concrete example
+expression from Section 6.2, ``S.VP.(NP.PP)*.NP``.
+"""
+
+from __future__ import annotations
+
+from repro import TMNFProgram
+from repro.core.two_phase import TwoPhaseEvaluator
+from repro.datasets import (
+    STEP_SOME_CHILD,
+    TREEBANK_ALPHABET,
+    generate_treebank,
+    random_query_batch,
+)
+from repro.tree import BinaryTree
+
+#: The worked example of Section 6.2 (size-5 regular expression S.VP.(NP.PP)*.NP).
+PAPER_EXAMPLE_QUERY = """
+QUERY :- V.Label[S].FirstChild.NextSibling*.Label[VP].
+         (FirstChild.NextSibling*.Label[NP].FirstChild.NextSibling*.Label[PP])*.
+         FirstChild.NextSibling*.Label[NP];
+"""
+
+
+def main() -> None:
+    corpus = generate_treebank(target_nodes=20_000, seed=7)
+    tree = BinaryTree.from_unranked(corpus)
+    print(f"synthetic treebank: {len(tree)} nodes, "
+          f"{sum(1 for l in tree.labels if l == 'S')} sentences/clauses, "
+          f"depth {tree.unranked_depth()}")
+
+    program = TMNFProgram.parse(PAPER_EXAMPLE_QUERY)
+    evaluator = TwoPhaseEvaluator(program)
+    result = evaluator.evaluate(tree)
+    stats = result.statistics
+    print("\npaper example  S.VP.(NP.PP)*.NP")
+    print(f"  program size      : |IDB| = {program.n_idb}, |P| = {program.n_rules}")
+    print(f"  selected NP nodes : {len(result.selected['QUERY'])}")
+    print(f"  phase 1           : {stats.bu_seconds:.3f}s, {stats.bu_transitions} transitions")
+    print(f"  phase 2           : {stats.td_seconds:.3f}s, {stats.td_transitions} transitions")
+
+    print("\nrandom path queries of increasing size (3 per size):")
+    print(f"  {'size':>4}  {'|IDB|':>6}  {'|P|':>5}  {'selected':>9}  {'transitions':>12}")
+    for size in (5, 8, 11, 14):
+        for query in random_query_batch(size, TREEBANK_ALPHABET, count=3, seed=99):
+            q_program = TMNFProgram.parse(query.to_program_text(STEP_SOME_CHILD))
+            q_result = TwoPhaseEvaluator(q_program).evaluate(tree)
+            transitions = (q_result.statistics.bu_transitions
+                           + q_result.statistics.td_transitions)
+            print(f"  {size:>4}  {q_program.n_idb:>6}  {q_program.n_rules:>5}  "
+                  f"{len(q_result.selected['QUERY']):>9}  {transitions:>12}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Baseline evaluators: naive datalog fixpoint and set-at-a-time XPath."""
+
+from repro.baselines.datalog import FixpointEvaluator, FixpointResult, evaluate_fixpoint
+from repro.baselines.xpath_naive import NaiveXPathEvaluator, evaluate_xpath_naive
+
+__all__ = [
+    "FixpointEvaluator",
+    "FixpointResult",
+    "evaluate_fixpoint",
+    "NaiveXPathEvaluator",
+    "evaluate_xpath_naive",
+]

@@ -1,0 +1,149 @@
+"""Reference semantics: semi-naive fixpoint evaluation of TMNF programs.
+
+TMNF is a fragment of monadic datalog, so its meaning is the least fixpoint
+(minimum model) of the program over the tree database of Section 2.1.  This
+module computes that fixpoint directly with a worklist algorithm in
+``O(|P| * |T|)`` time.  It serves two purposes:
+
+* it is the *correctness oracle* for the two-phase automata engine (the
+  property-based tests assert that both select exactly the same nodes), and
+* it is the "direct fixpoint" comparison baseline in the benchmark suite
+  (monadic datalog over trees is evaluable in linear time, cf. [9]; the
+  interesting question is the constant factor and the access pattern --- the
+  fixpoint evaluator touches every node an unbounded number of times and
+  needs the whole tree in memory).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.tmnf import ast
+from repro.tmnf.program import TMNFProgram
+from repro.tree import model as tree_model
+from repro.tree.binary import NO_NODE, BinaryTree
+
+__all__ = ["FixpointEvaluator", "evaluate_fixpoint", "FixpointResult"]
+
+
+@dataclass
+class FixpointResult:
+    """Per-node true IDB predicates plus the selected nodes per query predicate."""
+
+    true_predicates: list[set[str]]
+    selected: dict[str, list[int]]
+    derivations: int
+
+    def selected_nodes(self, predicate: str | None = None) -> list[int]:
+        if predicate is None:
+            predicate = next(iter(self.selected))
+        return self.selected[predicate]
+
+
+class FixpointEvaluator:
+    """Worklist-based least-fixpoint evaluation of a TMNF program."""
+
+    def __init__(self, program: TMNFProgram):
+        self.program = program
+        self._local_by_atom: dict[str, list[ast.LocalRule]] = defaultdict(list)
+        self._seed_rules: list[ast.LocalRule] = []
+        self._down_by_pred: dict[str, list[ast.DownRule]] = defaultdict(list)
+        self._up_by_pred: dict[str, list[ast.UpRule]] = defaultdict(list)
+        # Anything that is not a unary EDB predicate is treated as IDB; atoms
+        # that are IDB but never appear in a rule head simply never become true.
+        idb = frozenset(
+            {rule.head for rule in program.internal_rules}
+            | {
+                atom
+                for rule in program.internal_rules
+                if isinstance(rule, ast.LocalRule)
+                for atom in rule.body
+                if not ast.is_unary_edb(atom) and atom != ast.UNIVERSE
+            }
+        )
+        for rule in program.internal_rules:
+            if isinstance(rule, ast.LocalRule):
+                idb_atoms = [atom for atom in rule.body if atom in idb]
+                if idb_atoms:
+                    for atom in set(idb_atoms):
+                        self._local_by_atom[atom].append(rule)
+                else:
+                    self._seed_rules.append(rule)
+            elif isinstance(rule, ast.DownRule):
+                self._down_by_pred[rule.body_pred].append(rule)
+            elif isinstance(rule, ast.UpRule):
+                self._up_by_pred[rule.body_pred].append(rule)
+        self._idb = idb
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, tree: BinaryTree) -> FixpointResult:
+        n = len(tree)
+        truths: list[set[str]] = [set() for _ in range(n)]
+        queue: list[tuple[int, str]] = []
+        derivations = 0
+
+        parent = tree.parents()
+        which_child = [0] * n  # 1 = first child of its parent, 2 = second child
+        for node in range(n):
+            for index, child in ((1, tree.first_child[node]), (2, tree.second_child[node])):
+                if child != NO_NODE:
+                    which_child[child] = index
+
+        def derive(node: int, pred: str) -> None:
+            nonlocal derivations
+            if pred not in truths[node]:
+                truths[node].add(pred)
+                queue.append((node, pred))
+                derivations += 1
+
+        def local_body_holds(node: int, rule: ast.LocalRule) -> bool:
+            for atom in rule.body:
+                if atom in self._idb:
+                    if atom not in truths[node]:
+                        return False
+                elif not tree_model.unary_holds(tree, node, atom):
+                    return False
+            return True
+
+        # Seed: rules without IDB body atoms fire wherever their EDB atoms hold.
+        for rule in self._seed_rules:
+            for node in range(n):
+                if local_body_holds(node, rule):
+                    derive(node, rule.head)
+
+        # Worklist propagation.
+        head_index = 0
+        while head_index < len(queue):
+            node, pred = queue[head_index]
+            head_index += 1
+            for rule in self._local_by_atom.get(pred, ()):
+                if rule.head not in truths[node] and local_body_holds(node, rule):
+                    derive(node, rule.head)
+            for down in self._down_by_pred.get(pred, ()):
+                child = (
+                    tree.first_child[node]
+                    if down.relation == tree_model.FIRST_CHILD
+                    else tree.second_child[node]
+                )
+                if child != NO_NODE:
+                    derive(child, down.head)
+            for up in self._up_by_pred.get(pred, ()):
+                p = parent[node]
+                if p == NO_NODE:
+                    continue
+                expected = 1 if up.relation == tree_model.FIRST_CHILD else 2
+                if which_child[node] == expected:
+                    derive(p, up.head)
+
+        selected = {
+            query: [node for node in range(n) if query in truths[node]]
+            for query in self.program.query_predicates
+        }
+        return FixpointResult(true_predicates=truths, selected=selected, derivations=derivations)
+
+
+def evaluate_fixpoint(program: TMNFProgram, tree: BinaryTree) -> FixpointResult:
+    """Convenience wrapper: evaluate ``program`` over ``tree`` by fixpoint."""
+    return FixpointEvaluator(program).evaluate(tree)

@@ -1,0 +1,164 @@
+"""Naive set-at-a-time XPath evaluation on in-memory trees.
+
+This is the classic "navigate the DOM" evaluator: each location step maps a
+context node set to a result node set by enumerating the axis, each predicate
+is checked by recursively evaluating the condition path from every candidate
+node.  It cross-validates the XPath-to-TMNF translation and serves as the
+node-at-a-time comparison baseline of the benchmark suite (it touches nodes
+an unbounded number of times and needs the whole tree in memory -- exactly
+what the paper's approach avoids).
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathUnsupportedError
+from repro.tree.binary import NO_NODE, BinaryTree
+from repro.xpath.ast import AndExpr, Condition, LocationPath, OrExpr, PathCondition
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["NaiveXPathEvaluator", "evaluate_xpath_naive"]
+
+
+class NaiveXPathEvaluator:
+    """Evaluate the supported XPath fragment by explicit navigation."""
+
+    def __init__(self, tree: BinaryTree):
+        self.tree = tree
+        self.parent = tree.parents()
+        # Unranked children lists and sibling orders, derived once.
+        self.children: list[list[int]] = [[] for _ in range(len(tree))]
+        for node in range(len(tree)):
+            child = tree.first_child[node]
+            while child != NO_NODE:
+                self.children[node].append(child)
+                child = tree.second_child[child]
+        self.unranked_parent = [NO_NODE] * len(tree)
+        for node, kids in enumerate(self.children):
+            for kid in kids:
+                self.unranked_parent[kid] = node
+
+    # ------------------------------------------------------------------ #
+    # Axes (unranked-tree semantics)
+    # ------------------------------------------------------------------ #
+
+    def axis(self, node: int, name: str) -> list[int]:
+        if name == "self":
+            return [node]
+        if name == "child":
+            return list(self.children[node])
+        if name == "descendant":
+            result: list[int] = []
+            stack = list(reversed(self.children[node]))
+            while stack:
+                current = stack.pop()
+                result.append(current)
+                stack.extend(reversed(self.children[current]))
+            return result
+        if name == "descendant-or-self":
+            return [node, *self.axis(node, "descendant")]
+        if name == "parent":
+            parent = self.unranked_parent[node]
+            return [parent] if parent != NO_NODE else []
+        if name == "ancestor":
+            result = []
+            parent = self.unranked_parent[node]
+            while parent != NO_NODE:
+                result.append(parent)
+                parent = self.unranked_parent[parent]
+            return result
+        if name == "ancestor-or-self":
+            return [node, *self.axis(node, "ancestor")]
+        if name == "following-sibling":
+            return self._siblings(node, after=True)
+        if name == "preceding-sibling":
+            return self._siblings(node, after=False)
+        if name == "following":
+            seen: set[int] = set()
+            result = []
+            for anchor in self.axis(node, "ancestor-or-self"):
+                for sibling in self._siblings(anchor, after=True):
+                    for reached in self.axis(sibling, "descendant-or-self"):
+                        if reached not in seen:
+                            seen.add(reached)
+                            result.append(reached)
+            return result
+        if name == "preceding":
+            seen = set()
+            result = []
+            for anchor in self.axis(node, "ancestor-or-self"):
+                for sibling in self._siblings(anchor, after=False):
+                    for reached in self.axis(sibling, "descendant-or-self"):
+                        if reached not in seen:
+                            seen.add(reached)
+                            result.append(reached)
+            return result
+        raise XPathUnsupportedError(f"axis {name!r} is not supported")
+
+    def _siblings(self, node: int, *, after: bool) -> list[int]:
+        parent = self.unranked_parent[node]
+        if parent == NO_NODE:
+            return []
+        siblings = self.children[parent]
+        position = siblings.index(node)
+        return siblings[position + 1 :] if after else siblings[:position]
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, expression: str | LocationPath) -> list[int]:
+        path = parse_xpath(expression) if isinstance(expression, str) else expression
+        return sorted(self._evaluate_path(path, context=None))
+
+    def _evaluate_path(self, path: LocationPath, context: int | None) -> set[int]:
+        steps = list(path.steps)
+        if path.absolute:
+            first = steps.pop(0)
+            if first.axis == "child":
+                candidates = {self.tree.root}
+            elif first.axis in ("descendant", "descendant-or-self"):
+                candidates = set(range(len(self.tree)))
+            else:
+                raise XPathUnsupportedError(
+                    f"axis {first.axis!r} cannot be applied to the document node"
+                )
+            current = {
+                node
+                for node in candidates
+                if self._test(node, first.test) and self._predicates(node, first.predicates)
+            }
+        else:
+            start = self.tree.root if context is None else context
+            current = {start}
+        for step in steps:
+            result: set[int] = set()
+            for node in current:
+                for candidate in self.axis(node, step.axis):
+                    if candidate in result:
+                        continue
+                    if self._test(candidate, step.test) and self._predicates(
+                        candidate, step.predicates
+                    ):
+                        result.add(candidate)
+            current = result
+        return current
+
+    def _test(self, node: int, test: str) -> bool:
+        return test == "*" or self.tree.labels[node] == test
+
+    def _predicates(self, node: int, predicates) -> bool:
+        return all(self._condition(node, condition) for condition in predicates)
+
+    def _condition(self, node: int, condition: Condition) -> bool:
+        if isinstance(condition, AndExpr):
+            return all(self._condition(node, part) for part in condition.parts)
+        if isinstance(condition, OrExpr):
+            return any(self._condition(node, part) for part in condition.parts)
+        if isinstance(condition, PathCondition):
+            return bool(self._evaluate_path(condition.path, context=node))
+        raise TypeError(f"unknown condition node: {condition!r}")
+
+
+def evaluate_xpath_naive(tree: BinaryTree, expression: str) -> list[int]:
+    """Evaluate ``expression`` on ``tree`` with the naive navigational evaluator."""
+    return NaiveXPathEvaluator(tree).evaluate(expression)

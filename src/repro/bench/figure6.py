@@ -1,0 +1,165 @@
+"""Regeneration of Figure 6: the three query-benchmark blocks.
+
+For every query size the paper runs 25 random regular path queries and
+reports the averages of: |IDB|, |P|, phase-1 time and lazily computed
+bottom-up transitions, phase-2 time and top-down transitions, total time,
+number of selected nodes and peak memory.  The three blocks differ in the
+dataset and in the step expression ``R`` used between labels:
+
+=================  ==========================  =============================
+block              dataset                     R
+=================  ==========================  =============================
+``treebank``       synthetic Penn Treebank     ``FirstChild.NextSibling*``
+``acgt-infix``     balanced infix DNA tree     the infix "previous symbol" walker
+``acgt-flat``      flat DNA sequence tree      ``invNextSibling``
+=================  ==========================  =============================
+
+The same random expressions (same seed) are used for the two ACGT blocks, so
+their "selected" columns must agree -- exactly the internal consistency check
+the paper points out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.two_phase import TwoPhaseEvaluator
+from repro.datasets.acgt import acgt_flat_tree, acgt_infix_tree, random_sequence
+from repro.datasets.random_queries import (
+    ACGT_ALPHABET,
+    STEP_INFIX_PREVIOUS,
+    STEP_PREVIOUS_SIBLING,
+    STEP_SOME_CHILD,
+    TREEBANK_ALPHABET,
+    random_query_batch,
+)
+from repro.datasets.treebank import generate_treebank
+from repro.tmnf.program import TMNFProgram
+from repro.tree.binary import BinaryTree
+
+__all__ = ["Figure6Block", "BLOCKS", "load_block_tree", "run_query_batch", "figure6_block_rows"]
+
+#: Query sizes reported in the paper (5..15); benchmarks may use a subset.
+PAPER_SIZES = tuple(range(5, 16))
+
+
+@dataclass(frozen=True)
+class Figure6Block:
+    """Configuration of one block of Figure 6."""
+
+    name: str
+    alphabet: tuple[str, ...]
+    step: str
+    dataset: str  # "treebank", "acgt-flat", "acgt-infix"
+
+
+BLOCKS: dict[str, Figure6Block] = {
+    "treebank": Figure6Block("treebank", TREEBANK_ALPHABET, STEP_SOME_CHILD, "treebank"),
+    "acgt-infix": Figure6Block("acgt-infix", ACGT_ALPHABET, STEP_INFIX_PREVIOUS, "acgt-infix"),
+    "acgt-flat": Figure6Block("acgt-flat", ACGT_ALPHABET, STEP_PREVIOUS_SIBLING, "acgt-flat"),
+}
+
+
+def load_block_tree(block: Figure6Block | str, *, treebank_nodes: int = 30_000,
+                    acgt_exponent: int = 13, seed: int = 2003) -> BinaryTree:
+    """Materialise the dataset of a block as an in-memory binary tree."""
+    if isinstance(block, str):
+        block = BLOCKS[block]
+    if block.dataset == "treebank":
+        return BinaryTree.from_unranked(generate_treebank(treebank_nodes, seed=seed))
+    sequence = random_sequence(2**acgt_exponent - 1, seed=seed)
+    if block.dataset == "acgt-flat":
+        return BinaryTree.from_unranked(acgt_flat_tree(sequence))
+    if block.dataset == "acgt-infix":
+        return acgt_infix_tree(sequence)
+    raise ValueError(f"unknown dataset {block.dataset!r}")
+
+
+@dataclass
+class BatchResult:
+    """Averages over one batch of queries of the same size (one Figure-6 row)."""
+
+    size: int
+    n_queries: int = 0
+    idb: float = 0.0
+    rules: float = 0.0
+    bu_seconds: float = 0.0
+    bu_transitions: float = 0.0
+    td_seconds: float = 0.0
+    td_transitions: float = 0.0
+    total_seconds: float = 0.0
+    selected: float = 0.0
+    memory_kb: float = 0.0
+    per_query: list[dict[str, float]] = field(default_factory=list)
+
+    def as_row(self) -> dict[str, object]:
+        """The ten columns of Figure 6 (averages, like the paper's rows)."""
+        return {
+            "size": self.size,
+            "|IDB|": round(self.idb, 1),
+            "|P|": round(self.rules, 1),
+            "bu_time_s": round(self.bu_seconds, 3),
+            "bu_transitions": round(self.bu_transitions, 1),
+            "td_time_s": round(self.td_seconds, 3),
+            "td_transitions": round(self.td_transitions, 1),
+            "total_time_s": round(self.total_seconds, 3),
+            "selected": round(self.selected, 1),
+            "mem_kbytes": round(self.memory_kb, 1),
+        }
+
+
+def run_query_batch(
+    block: Figure6Block | str,
+    tree: BinaryTree,
+    size: int,
+    *,
+    queries_per_size: int = 25,
+    seed: int = 2003,
+) -> BatchResult:
+    """Run one batch (one row of Figure 6) and return the averaged statistics."""
+    if isinstance(block, str):
+        block = BLOCKS[block]
+    batch = random_query_batch(size, block.alphabet, count=queries_per_size, seed=seed)
+    result = BatchResult(size=size, n_queries=len(batch))
+    for query in batch:
+        program = TMNFProgram.parse(query.to_program_text(block.step))
+        evaluator = TwoPhaseEvaluator(program)
+        evaluation = evaluator.evaluate(tree)
+        stats = evaluation.statistics
+        row = stats.as_row()
+        row["idb"] = program.n_idb
+        row["rules"] = program.n_rules
+        result.per_query.append(row)
+        result.idb += program.n_idb
+        result.rules += program.n_rules
+        result.bu_seconds += stats.bu_seconds
+        result.bu_transitions += stats.bu_transitions
+        result.td_seconds += stats.td_seconds
+        result.td_transitions += stats.td_transitions
+        result.total_seconds += stats.total_seconds
+        result.selected += stats.selected
+        result.memory_kb += stats.memory_estimate_kb
+    count = max(result.n_queries, 1)
+    for attribute in ("idb", "rules", "bu_seconds", "bu_transitions", "td_seconds",
+                      "td_transitions", "total_seconds", "selected", "memory_kb"):
+        setattr(result, attribute, getattr(result, attribute) / count)
+    return result
+
+
+def figure6_block_rows(
+    block_name: str,
+    *,
+    sizes: tuple[int, ...] = (5, 7, 9, 11, 13, 15),
+    queries_per_size: int = 25,
+    treebank_nodes: int = 30_000,
+    acgt_exponent: int = 13,
+    seed: int = 2003,
+) -> list[dict[str, object]]:
+    """Regenerate (a subset of) one Figure-6 block as table rows."""
+    block = BLOCKS[block_name]
+    tree = load_block_tree(block, treebank_nodes=treebank_nodes, acgt_exponent=acgt_exponent,
+                           seed=seed)
+    return [
+        run_query_batch(block, tree, size, queries_per_size=queries_per_size, seed=seed).as_row()
+        for size in sizes
+    ]

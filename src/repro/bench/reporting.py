@@ -1,0 +1,37 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+__all__ = ["format_table"]
+
+
+def format_table(rows: Iterable[Mapping[str, object]], title: str | None = None) -> str:
+    """Render dict rows as an aligned text table (columns from the first row)."""
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    columns = list(rows[0].keys())
+    rendered = [[_format_cell(row.get(column)) for column in columns] for row in rows]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    out: list[str] = []
+    if title:
+        out.append(title)
+    header = "  ".join(column.rjust(width) for column, width in zip(columns, widths))
+    out.append(header)
+    out.append("  ".join("-" * width for width in widths))
+    for line in rendered:
+        out.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+    return "\n".join(out)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:,.2f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)

@@ -1,0 +1,133 @@
+"""The ``arb`` command-line tool.
+
+Subcommands
+-----------
+``arb build INPUT.xml OUTPUT``
+    Create ``OUTPUT.arb`` / ``OUTPUT.lab`` from an XML document with the
+    two-pass procedure of Section 5 and print the Figure-5 statistics row.
+
+``arb query DATABASE (-q PROGRAM | -f FILE | -x XPATH)``
+    Evaluate a node-selecting query.  ``DATABASE`` is either an `.arb` base
+    path (evaluated in two linear scans on disk) or an XML file (evaluated in
+    memory).  By default the selected-node count and the evaluation
+    statistics are printed; ``--mark-up`` emits the whole document with the
+    selected nodes marked, ``--ids`` prints the selected node ids.
+
+``arb stats DATABASE``
+    Print the stored metadata of an `.arb` database.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine import Database
+from repro.errors import ReproError
+from repro.storage.build import build_database
+from repro.storage.database import ArbDatabase
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="arb",
+        description="Tree-automata evaluation of expressive node-selecting queries on XML.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build", help="create an .arb database from an XML file")
+    build.add_argument("xml", help="input XML document")
+    build.add_argument("output", help="output base path (creates <output>.arb/.lab/.meta)")
+    build.add_argument("--text-mode", choices=("chars", "node", "ignore"), default="chars",
+                       help="how to model text (default: one node per character)")
+
+    query = subparsers.add_parser("query", help="evaluate a node-selecting query")
+    query.add_argument("database", help=".arb base path or XML file")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("-q", "--program", help="TMNF/caterpillar program text")
+    group.add_argument("-f", "--program-file", help="file containing a TMNF program")
+    group.add_argument("-x", "--xpath", help="XPath expression (supported fragment)")
+    query.add_argument("--query-predicate", help="IDB predicate to report (default: QUERY/first head)")
+    query.add_argument("--ids", action="store_true", help="print selected node ids")
+    query.add_argument("--mark-up", action="store_true",
+                       help="print the document with selected nodes marked up")
+
+    stats = subparsers.add_parser("stats", help="print metadata of an .arb database")
+    stats.add_argument("database", help=".arb base path")
+    return parser
+
+
+def _open_database(path: str) -> Database:
+    if path.endswith(".xml"):
+        return Database.from_xml_file(path)
+    return Database.open(path)
+
+
+def _command_build(args: argparse.Namespace) -> int:
+    with open(args.xml, "r", encoding="utf-8") as handle:
+        document = handle.read()
+    stats = build_database(document, args.output, text_mode=args.text_mode, name=args.xml)
+    for key, value in stats.as_row().items():
+        print(f"{key:>12}: {value}")
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    database = _open_database(args.database)
+    if args.xpath:
+        query_text, language = args.xpath, "xpath"
+    elif args.program_file:
+        with open(args.program_file, "r", encoding="utf-8") as handle:
+            query_text, language = handle.read(), "tmnf"
+    else:
+        query_text, language = args.program, "tmnf"
+    result = database.query(query_text, language=language, query_predicate=args.query_predicate)
+    predicate = result.program.query_predicates[0]
+    statistics = result.statistics
+    print(f"query predicate : {predicate}")
+    print(f"selected nodes  : {result.count(predicate)}")
+    print(f"phase 1 (bottom-up): {statistics.bu_seconds:.4f}s, "
+          f"{statistics.bu_transitions} transitions")
+    print(f"phase 2 (top-down) : {statistics.td_seconds:.4f}s, "
+          f"{statistics.td_transitions} transitions")
+    print(f"total              : {statistics.total_seconds:.4f}s over {statistics.nodes} nodes")
+    if args.ids:
+        print(" ".join(str(node) for node in result.selected_nodes(predicate)))
+    if args.mark_up:
+        print(database.to_xml(result.selected_nodes(predicate)))
+    return 0
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    database = ArbDatabase.open(args.database)
+    print(f"base path    : {database.base_path}")
+    print(f"nodes        : {database.n_nodes}")
+    print(f"record size  : {database.record_size} bytes")
+    print(f"element nodes: {database.element_nodes}")
+    print(f"char nodes   : {database.char_nodes}")
+    print(f"tags         : {database.labels.n_tags}")
+    print(f".arb size    : {database.file_size()} bytes")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "build":
+            return _command_build(args)
+        if args.command == "query":
+            return _command_query(args)
+        if args.command == "stats":
+            return _command_stats(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Core of the Arb reproduction: Horn machinery, automata, two-phase engine."""
+
+from repro.core.horn import Rule, contract_program, ltur, simplify_program
+from repro.core.sta import SelectingTreeAutomaton
+from repro.core.two_phase import BOTTOM, EvaluationResult, EvaluationStatistics, TwoPhaseEvaluator
+
+__all__ = [
+    "Rule",
+    "ltur",
+    "contract_program",
+    "simplify_program",
+    "TwoPhaseEvaluator",
+    "EvaluationResult",
+    "EvaluationStatistics",
+    "BOTTOM",
+    "SelectingTreeAutomaton",
+]

@@ -1,0 +1,200 @@
+"""Selecting Tree Automata (STA, Definition 3.2) and their direct evaluation.
+
+An STA is a nondeterministic bottom-up tree automaton with a set ``S`` of
+*selecting* states; it selects node ``v`` iff **every** accepting run is in a
+selecting state at ``v``.
+
+For a TMNF program ``P`` the standard translation ([8], sketched in
+Section 4) produces an STA whose states are subsets of ``IDB(P)``; all states
+are accepting, the runs are exactly the assignments that are models of ``P``
+over the tree, and the selecting states for a query predicate ``q`` are the
+subsets containing ``q``.  Because Horn programs have least models that are
+the intersection of all models, the STA selection criterion coincides with
+the minimum-fixpoint semantics of ``P`` -- this is exactly what makes the
+two-phase deterministic evaluation of Section 4 correct.
+
+:class:`SelectingTreeAutomaton` makes the translation explicit (states and
+transition function enumerated over the powerset of IDB predicates), and
+:meth:`SelectingTreeAutomaton.evaluate` applies the selection criterion
+directly, with a reachable-states pass followed by a viable-states pass.
+This is exponential in ``|IDB(P)|`` and only meant for the theory-level
+cross-validation tests; the production path is
+:class:`repro.core.two_phase.TwoPhaseEvaluator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import chain, combinations
+from typing import TYPE_CHECKING
+
+from repro.errors import EvaluationError
+from repro.tmnf import ast
+from repro.tree import model as tree_model
+from repro.tree.binary import NO_NODE, BinaryTree
+
+if TYPE_CHECKING:  # imported for type checking only, to avoid an import cycle
+    from repro.tmnf.program import TMNFProgram
+
+__all__ = ["SelectingTreeAutomaton"]
+
+#: Practical bound on |IDB| for the explicit powerset construction.
+MAX_EXPLICIT_IDB = 12
+
+
+def _powerset(items: frozenset[str]):
+    ordered = sorted(items)
+    return chain.from_iterable(combinations(ordered, size) for size in range(len(ordered) + 1))
+
+
+@dataclass
+class SelectingTreeAutomaton:
+    """An explicit STA derived from a TMNF program."""
+
+    program: "TMNFProgram"
+    selecting_predicate: str
+
+    def __post_init__(self) -> None:
+        idb = self.program.idb_predicates
+        if len(idb) > MAX_EXPLICIT_IDB:
+            raise EvaluationError(
+                f"explicit STA construction limited to {MAX_EXPLICIT_IDB} IDB predicates "
+                f"(program has {len(idb)}); use TwoPhaseEvaluator instead"
+            )
+        if self.selecting_predicate not in idb:
+            raise EvaluationError(f"unknown query predicate {self.selecting_predicate!r}")
+        self._idb = idb
+        self._local: list[ast.LocalRule] = []
+        self._down: list[ast.DownRule] = []
+        self._up: list[ast.UpRule] = []
+        for rule in self.program.internal_rules:
+            if isinstance(rule, ast.LocalRule):
+                self._local.append(rule)
+            elif isinstance(rule, ast.DownRule):
+                self._down.append(rule)
+            elif isinstance(rule, ast.UpRule):
+                self._up.append(rule)
+
+    # ------------------------------------------------------------------ #
+    # The transition relation
+    # ------------------------------------------------------------------ #
+
+    def states(self) -> list[frozenset[str]]:
+        """All states of the automaton (the powerset of IDB predicates)."""
+        return [frozenset(subset) for subset in _powerset(self._idb)]
+
+    def is_selecting(self, state: frozenset[str]) -> bool:
+        return self.selecting_predicate in state
+
+    def transition_allowed(
+        self,
+        state: frozenset[str],
+        left: frozenset[str] | None,
+        right: frozenset[str] | None,
+        tree: BinaryTree,
+        node: int,
+    ) -> bool:
+        """Whether assigning ``state`` at ``node`` is locally consistent.
+
+        ``left`` / ``right`` are the child assignments (``None`` if the child
+        does not exist).  The conditions are exactly "the assignment is closed
+        under every rule whose atoms touch only this node and its children".
+        """
+        for rule in self._local:
+            if rule.head in state:
+                continue
+            satisfied = True
+            for atom in rule.body:
+                if ast.is_unary_edb(atom) or atom == ast.UNIVERSE:
+                    if not tree_model.unary_holds(tree, node, atom):
+                        satisfied = False
+                        break
+                elif atom not in state:
+                    # IDB atom (possibly never defined by any rule head).
+                    satisfied = False
+                    break
+            if satisfied:
+                return False
+        for rule in self._down:
+            child = left if rule.relation == tree_model.FIRST_CHILD else right
+            if child is None:
+                continue
+            if rule.body_pred in state and rule.head not in child:
+                return False
+        for rule in self._up:
+            child = left if rule.relation == tree_model.FIRST_CHILD else right
+            if child is None:
+                continue
+            if rule.body_pred in child and rule.head not in state:
+                return False
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Direct evaluation of the STA selection criterion
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, tree: BinaryTree) -> list[int]:
+        """Nodes selected by the STA (every accepting run is selecting there)."""
+        n = len(tree)
+        all_states = self.states()
+
+        # Pass 1 (bottom-up): reachable[v] = states some run on v's subtree
+        # assigns to v while being locally consistent within the subtree.
+        reachable: list[set[frozenset[str]]] = [set() for _ in range(n)]
+        for node in range(n - 1, -1, -1):
+            left = tree.first_child[node]
+            right = tree.second_child[node]
+            left_options = reachable[left] if left != NO_NODE else {None}
+            right_options = reachable[right] if right != NO_NODE else {None}
+            for state in all_states:
+                allowed = False
+                for ls in left_options:
+                    for rs in right_options:
+                        if self.transition_allowed(state, ls, rs, tree, node):
+                            allowed = True
+                            break
+                    if allowed:
+                        break
+                if allowed:
+                    reachable[node].add(state)
+
+        if not reachable[tree.root]:
+            # No accepting run at all; by Definition 3.2 every node is then
+            # (vacuously) selected.  This never happens for the STAs obtained
+            # from TMNF programs (every tree has at least its least model),
+            # but the definition is honoured for completeness.
+            return list(range(n))
+
+        # Pass 2 (top-down): viable[v] = reachable states at v that extend to
+        # an accepting run over the whole tree.  All states are accepting, so
+        # viable[root] = reachable[root].
+        viable: list[set[frozenset[str]]] = [set() for _ in range(n)]
+        viable[tree.root] = set(reachable[tree.root])
+        for node in range(n):
+            left = tree.first_child[node]
+            right = tree.second_child[node]
+            if left == NO_NODE and right == NO_NODE:
+                continue
+            left_options = reachable[left] if left != NO_NODE else {None}
+            right_options = reachable[right] if right != NO_NODE else {None}
+            viable_left: set[frozenset[str]] = set()
+            viable_right: set[frozenset[str]] = set()
+            for state in viable[node]:
+                for ls in left_options:
+                    for rs in right_options:
+                        if self.transition_allowed(state, ls, rs, tree, node):
+                            if ls is not None:
+                                viable_left.add(ls)
+                            if rs is not None:
+                                viable_right.add(rs)
+            if left != NO_NODE:
+                viable[left] = viable_left
+            if right != NO_NODE:
+                viable[right] = viable_right
+
+        selected = []
+        for node in range(n):
+            options = viable[node]
+            if options and all(self.is_selecting(state) for state in options):
+                selected.append(node)
+        return selected

@@ -1,0 +1,40 @@
+"""Synthetic dataset and workload generators used by the benchmarks."""
+
+from repro.datasets.acgt import (
+    ALPHABET,
+    acgt_flat_events,
+    acgt_flat_tree,
+    acgt_infix_tree,
+    random_sequence,
+)
+from repro.datasets.random_queries import (
+    ACGT_ALPHABET,
+    STEP_INFIX_PREVIOUS,
+    STEP_PREVIOUS_SIBLING,
+    STEP_SOME_CHILD,
+    TREEBANK_ALPHABET,
+    RegularPathQuery,
+    random_path_query,
+    random_query_batch,
+)
+from repro.datasets.swissprot import generate_swissprot, generate_swissprot_events
+from repro.datasets.treebank import generate_treebank
+
+__all__ = [
+    "ALPHABET",
+    "random_sequence",
+    "acgt_flat_tree",
+    "acgt_flat_events",
+    "acgt_infix_tree",
+    "generate_treebank",
+    "generate_swissprot",
+    "generate_swissprot_events",
+    "RegularPathQuery",
+    "random_path_query",
+    "random_query_batch",
+    "TREEBANK_ALPHABET",
+    "ACGT_ALPHABET",
+    "STEP_SOME_CHILD",
+    "STEP_PREVIOUS_SIBLING",
+    "STEP_INFIX_PREVIOUS",
+]

@@ -1,0 +1,129 @@
+"""The ACGT synthetic DNA database (Section 6.1).
+
+The paper generates a random sequence of ``2^25 - 1`` symbols over
+``{A, C, G, T}`` and stores it in two XML/tree encodings:
+
+ACGT-flat
+    a root node with one character child per symbol, in sequence order
+    (in the binary first-child/next-sibling encoding this is an extremely
+    right-deep tree);
+ACGT-infix
+    a complete binary *infix* tree below a separate root node: the middle
+    symbol is the root of the (sub)tree, the left half forms its first/left
+    subtree and the right half its second/right subtree, so that an in-order
+    traversal spells the sequence (Figure 4).  This is the balanced encoding
+    that makes parallel/regular-expression matching on trees possible.
+
+Sequence lengths must be ``2^d - 1`` so the infix tree is complete.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import TreeError
+from repro.tree.binary import NO_NODE, BinaryTree
+from repro.tree.unranked import UnrankedNode, UnrankedTree
+
+__all__ = [
+    "ALPHABET",
+    "random_sequence",
+    "acgt_flat_tree",
+    "acgt_infix_tree",
+    "acgt_flat_events",
+]
+
+ALPHABET = ("A", "C", "G", "T")
+
+#: Label of the separate root node above both encodings.
+ROOT_LABEL = "dna"
+
+
+def random_sequence(length: int, seed: int = 2003) -> str:
+    """A reproducible random DNA sequence of ``length`` symbols."""
+    rng = random.Random(seed)
+    return "".join(rng.choice(ALPHABET) for _ in range(length))
+
+
+def _check_infix_length(length: int) -> None:
+    if length < 1 or (length + 1) & length != 0:
+        raise TreeError(
+            f"ACGT-infix requires a sequence of 2^d - 1 symbols, got length {length}"
+        )
+
+
+def acgt_flat_tree(sequence: str) -> UnrankedTree:
+    """ACGT-flat: a root with one character-node child per symbol."""
+    root = UnrankedNode(ROOT_LABEL)
+    root.children = [UnrankedNode(symbol, is_text=True) for symbol in sequence]
+    return UnrankedTree(root)
+
+
+def acgt_flat_events(sequence: str):
+    """Streaming variant of :func:`acgt_flat_tree` for database building.
+
+    Yields ``(kind, label, is_text)`` events without materialising the tree,
+    so arbitrarily long sequences can be turned into `.arb` databases with
+    memory proportional to the tree depth (which is 1 here).
+    """
+    yield 0, ROOT_LABEL, False
+    for symbol in sequence:
+        yield 0, symbol, True
+        yield 1, symbol, True
+    yield 1, ROOT_LABEL, False
+
+
+def acgt_infix_tree(sequence: str) -> BinaryTree:
+    """ACGT-infix: the balanced binary infix tree, below a separate root node.
+
+    The result is returned directly as a :class:`BinaryTree` (node ids in
+    pre-order): the root carries :data:`ROOT_LABEL`, its first child is the
+    infix tree of the whole sequence, and within the infix tree the
+    first/second child relations are the left/right children.  An in-order
+    traversal of the infix part spells the sequence.
+    """
+    _check_infix_length(len(sequence))
+    n = len(sequence) + 1  # sequence nodes plus the separate root
+    labels = [""] * n
+    first_child = [NO_NODE] * n
+    second_child = [NO_NODE] * n
+    labels[0] = ROOT_LABEL
+
+    next_slot = 1
+    # Work stack of (lo, hi, parent_slot, which): build segment [lo, hi) as a
+    # subtree hanging off parent_slot.  Pushing the right segment before the
+    # left one yields pre-order slot allocation.
+    stack: list[tuple[int, int, int, int]] = [(0, len(sequence), 0, 1)]
+    while stack:
+        lo, hi, parent, which = stack.pop()
+        if lo >= hi:
+            continue
+        mid = (lo + hi) // 2
+        slot = next_slot
+        next_slot += 1
+        labels[slot] = sequence[mid]
+        if which == 1:
+            first_child[parent] = slot
+        else:
+            second_child[parent] = slot
+        # Right half must be allocated after the whole left half.
+        stack.append((mid + 1, hi, slot, 2))
+        stack.append((lo, mid, slot, 1))
+    tree = BinaryTree(labels, first_child, second_child)
+    return tree
+
+
+def infix_inorder_sequence(tree: BinaryTree) -> str:
+    """Read back the sequence of an ACGT-infix tree (for tests)."""
+    # In-order traversal of the subtree rooted at the root's first child.
+    out: list[str] = []
+    stack: list[tuple[int, bool]] = []
+    node = tree.first_child[tree.root]
+    while node != NO_NODE or stack:
+        while node != NO_NODE:
+            stack.append((node, True))
+            node = tree.first_child[node]
+        visit, _ = stack.pop()
+        out.append(tree.labels[visit])
+        node = tree.second_child[visit]
+    return "".join(out)

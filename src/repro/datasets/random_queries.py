@@ -1,0 +1,124 @@
+"""Random regular path queries of the form ``w1 . w2* . w3`` (Section 6.2).
+
+All three benchmark threads of the paper use regular expressions of the shape
+``w1.w2*.w3`` where the ``wi`` are non-empty words over a four-letter label
+alphabet ({NP, VP, PP, S} for Treebank, {A, C, G, T} for ACGT), and the
+*size* of the expression is ``|w1| + |w2| + |w3|``.  Between consecutive
+labels the query walks with an experiment-specific step expression ``R``:
+
+* Treebank (top-down):  ``R = FirstChild.NextSibling*``  ("some child"),
+* ACGT-flat (bottom-up): ``R = invNextSibling``            (previous sibling),
+* ACGT-infix (sideways caterpillar): the infix-tree "previous symbol" walker::
+
+      R = (FirstChild.SecondChild*.-hasSecondChild
+           | -hasFirstChild.invFirstChild*.invSecondChild)
+
+This module generates the random expressions and renders them as Arb
+programs, exactly in the single-rule extended syntax shown in the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = [
+    "RegularPathQuery",
+    "random_path_query",
+    "random_query_batch",
+    "TREEBANK_ALPHABET",
+    "ACGT_ALPHABET",
+    "STEP_SOME_CHILD",
+    "STEP_PREVIOUS_SIBLING",
+    "STEP_INFIX_PREVIOUS",
+]
+
+TREEBANK_ALPHABET = ("NP", "VP", "PP", "S")
+ACGT_ALPHABET = ("A", "C", "G", "T")
+
+#: R for the Treebank (top-down) experiment: "some child of the current node".
+STEP_SOME_CHILD = "FirstChild.NextSibling*"
+#: R for the ACGT-flat (bottom-up) experiment: the previous character node.
+STEP_PREVIOUS_SIBLING = "invNextSibling"
+#: R for the ACGT-infix (caterpillar) experiment: the in-order predecessor.
+STEP_INFIX_PREVIOUS = (
+    "(FirstChild.SecondChild*.-hasSecondChild"
+    " | -hasFirstChild.invFirstChild*.invSecondChild)"
+)
+
+
+@dataclass(frozen=True)
+class RegularPathQuery:
+    """A ``w1.w2*.w3`` regular path query over a label alphabet."""
+
+    w1: tuple[str, ...]
+    w2: tuple[str, ...]
+    w3: tuple[str, ...]
+
+    @property
+    def size(self) -> int:
+        """|w1| + |w2| + |w3|, the query-size measure of Figure 6."""
+        return len(self.w1) + len(self.w2) + len(self.w3)
+
+    def regex_text(self) -> str:
+        """Human-readable form, e.g. ``S.VP.(NP.PP)*.NP``."""
+        return "{}.({})*.{}".format(".".join(self.w1), ".".join(self.w2), ".".join(self.w3))
+
+    def to_program_text(self, step: str, query_predicate: str = "QUERY") -> str:
+        """Render as a single-rule Arb program using ``step`` as the R walker.
+
+        Follows the paper's pattern: the very first label is tested on the
+        start node itself; every subsequent label is reached through ``R``.
+        """
+
+        def chain(labels: tuple[str, ...], leading_step: bool) -> str:
+            parts = []
+            for index, label in enumerate(labels):
+                if index == 0 and not leading_step:
+                    parts.append(f"Label[{label}]")
+                else:
+                    parts.append(f"{step}.Label[{label}]")
+            return ".".join(parts)
+
+        body = "V.{}.({})*.{}".format(
+            chain(self.w1, leading_step=False),
+            chain(self.w2, leading_step=True),
+            chain(self.w3, leading_step=True),
+        )
+        return f"{query_predicate} :- {body};"
+
+
+def random_path_query(
+    size: int,
+    alphabet: tuple[str, ...],
+    rng: random.Random,
+) -> RegularPathQuery:
+    """A random query of the given size: |w1|, |w2|, |w3| >= 1 summing to ``size``."""
+    if size < 3:
+        raise ValueError("query size must be at least 3 (each word is non-empty)")
+    # Random composition of `size` into three positive parts.
+    first_cut = rng.randint(1, size - 2)
+    second_cut = rng.randint(first_cut + 1, size - 1)
+    lengths = (first_cut, second_cut - first_cut, size - second_cut)
+    words = tuple(
+        tuple(rng.choice(alphabet) for _ in range(length)) for length in lengths
+    )
+    return RegularPathQuery(*words)
+
+
+def random_query_batch(
+    size: int,
+    alphabet: tuple[str, ...],
+    count: int = 25,
+    seed: int = 2003,
+) -> list[RegularPathQuery]:
+    """The paper's batches: ``count`` random queries of one size (default 25).
+
+    The same seed produces the same batch, so the ACGT-flat and ACGT-infix
+    experiments can run *the same* 25 expressions per size, as the paper does
+    ("the same 25 regular expressions were always used ...").
+    """
+    # Seed with a string so the batch is reproducible across processes
+    # (hash randomisation would make a tuple seed non-deterministic).
+    rng = random.Random(f"{seed}/{size}/{'-'.join(alphabet)}")
+    return [random_path_query(size, alphabet, rng) for _ in range(count)]

@@ -1,0 +1,244 @@
+"""High-level public API: databases and queries.
+
+:class:`Database` gives a single entry point over the two execution paths of
+the library:
+
+* **in-memory** -- built from an XML string/file or a tree object; queries run
+  with :class:`~repro.core.two_phase.TwoPhaseEvaluator`;
+* **secondary storage** -- an `.arb` database opened from disk (or built with
+  :meth:`Database.build`); queries run with
+  :class:`~repro.storage.disk_engine.DiskQueryEngine`, i.e. two linear scans
+  of the file and a temporary state file, never materialising the tree.
+
+Queries can be written in TMNF / caterpillar syntax (the native language) or
+in the supported XPath fragment (translated to TMNF first).
+
+Example
+-------
+>>> from repro import Database
+>>> db = Database.from_xml("<library><book/><dvd/><book/></library>")
+>>> result = db.query("QUERY :- V.Label[book];")
+>>> [db.label(v) for v in result.selected_nodes()]
+['book', 'book']
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.baselines.datalog import evaluate_fixpoint
+from repro.core.two_phase import EvaluationStatistics, TwoPhaseEvaluator
+from repro.errors import EvaluationError
+from repro.storage.build import build_database
+from repro.storage.database import ArbDatabase
+from repro.storage.disk_engine import DiskQueryEngine
+from repro.storage.paging import IOStatistics
+from repro.tmnf.program import TMNFProgram
+from repro.tree.binary import BinaryTree
+from repro.tree.unranked import UnrankedTree
+from repro.tree.xml_io import parse_xml, parse_xml_file, serialize_with_selection
+
+__all__ = ["Database", "QueryResult", "compile_query"]
+
+
+def compile_query(
+    query: str | TMNFProgram,
+    *,
+    language: str = "tmnf",
+    query_predicate: str | tuple[str, ...] | None = None,
+) -> TMNFProgram:
+    """Compile a query given in TMNF/caterpillar syntax or XPath into a program."""
+    if isinstance(query, TMNFProgram):
+        return query
+    if language == "tmnf":
+        return TMNFProgram.parse(query, query_predicates=query_predicate)
+    if language == "xpath":
+        from repro.xpath import xpath_to_program
+
+        return xpath_to_program(query)
+    raise EvaluationError(f"unknown query language: {language!r} (use 'tmnf' or 'xpath')")
+
+
+@dataclass
+class QueryResult:
+    """Answer of a query over a database."""
+
+    program: TMNFProgram
+    selected: dict[str, list[int]]
+    counts: dict[str, int]
+    statistics: EvaluationStatistics
+    io: IOStatistics | None = None
+    true_predicates: list[frozenset[str]] | None = None
+
+    def selected_nodes(self, predicate: str | None = None) -> list[int]:
+        """Node ids (document order) selected for a query predicate."""
+        if predicate is None:
+            predicate = self.program.query_predicates[0]
+        if predicate not in self.selected:
+            raise EvaluationError(f"no such query predicate: {predicate!r}")
+        return self.selected[predicate]
+
+    def count(self, predicate: str | None = None) -> int:
+        if predicate is None:
+            predicate = self.program.query_predicates[0]
+        return self.counts.get(predicate, 0)
+
+
+class Database:
+    """A queryable tree database, either in memory or in secondary storage."""
+
+    def __init__(
+        self,
+        *,
+        binary: BinaryTree | None = None,
+        unranked: UnrankedTree | None = None,
+        disk: ArbDatabase | None = None,
+        name: str = "",
+    ):
+        if binary is None and unranked is None and disk is None:
+            raise EvaluationError("a Database needs a tree or an on-disk .arb path")
+        self._binary = binary
+        self._unranked = unranked
+        self._disk = disk
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_xml(cls, document: str, *, text_mode: str = "chars", name: str = "") -> "Database":
+        unranked = parse_xml(document, text_mode=text_mode)
+        return cls(unranked=unranked, binary=BinaryTree.from_unranked(unranked), name=name)
+
+    @classmethod
+    def from_xml_file(cls, path: str, *, text_mode: str = "chars") -> "Database":
+        unranked = parse_xml_file(path, text_mode=text_mode)
+        return cls(unranked=unranked, binary=BinaryTree.from_unranked(unranked), name=str(path))
+
+    @classmethod
+    def from_unranked(cls, tree: UnrankedTree, name: str = "") -> "Database":
+        return cls(unranked=tree, binary=BinaryTree.from_unranked(tree), name=name)
+
+    @classmethod
+    def from_binary(cls, tree: BinaryTree, name: str = "") -> "Database":
+        return cls(binary=tree, name=name)
+
+    @classmethod
+    def open(cls, base_path: str) -> "Database":
+        """Open an on-disk `.arb` database; queries will run in two linear scans."""
+        return cls(disk=ArbDatabase.open(base_path), name=str(base_path))
+
+    @classmethod
+    def build(cls, source, base_path: str, *, text_mode: str = "chars", name: str = "") -> "Database":
+        """Create an `.arb` database from XML / a tree / an event stream, then open it."""
+        build_database(source, base_path, text_mode=text_mode, name=name)
+        return cls.open(base_path)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_on_disk(self) -> bool:
+        return self._disk is not None
+
+    @property
+    def n_nodes(self) -> int:
+        if self._disk is not None:
+            return self._disk.n_nodes
+        return len(self._require_binary())
+
+    def label(self, node: int) -> str:
+        return self._require_binary().labels[node]
+
+    def binary_tree(self) -> BinaryTree:
+        """The in-memory binary tree (materialised from disk on first use)."""
+        return self._require_binary()
+
+    def unranked_tree(self) -> UnrankedTree:
+        if self._unranked is None:
+            self._unranked = self._require_binary().to_unranked()
+        return self._unranked
+
+    def _require_binary(self) -> BinaryTree:
+        if self._binary is None:
+            if self._disk is None:
+                raise EvaluationError("database has no tree")
+            self._binary = self._disk.to_binary_tree()
+        return self._binary
+
+    # ------------------------------------------------------------------ #
+    # Querying
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        query: str | TMNFProgram,
+        *,
+        language: str = "tmnf",
+        query_predicate: str | tuple[str, ...] | None = None,
+        keep_true_predicates: bool = False,
+        force_disk: bool | None = None,
+        memoize: bool = True,
+    ) -> QueryResult:
+        """Evaluate a node-selecting query and return the selected nodes.
+
+        ``force_disk`` overrides the automatic choice of execution path (it is
+        an error to force the disk path on a purely in-memory database).
+        """
+        program = compile_query(query, language=language, query_predicate=query_predicate)
+        use_disk = self.is_on_disk if force_disk is None else force_disk
+        if use_disk:
+            if self._disk is None:
+                raise EvaluationError("cannot force disk evaluation: database is in memory")
+            engine = DiskQueryEngine(program, memoize=memoize)
+            disk_result = engine.evaluate(self._disk)
+            return QueryResult(
+                program=program,
+                selected=disk_result.selected,
+                counts=disk_result.selected_counts,
+                statistics=disk_result.statistics,
+                io=disk_result.io,
+            )
+        evaluator = TwoPhaseEvaluator(program, memoize=memoize)
+        result = evaluator.evaluate(self._require_binary(), keep_true_predicates=keep_true_predicates)
+        counts = {pred: len(nodes) for pred, nodes in result.selected.items()}
+        return QueryResult(
+            program=program,
+            selected=result.selected,
+            counts=counts,
+            statistics=result.statistics,
+            true_predicates=result.true_predicates,
+        )
+
+    def query_fixpoint(self, query: str | TMNFProgram, *, language: str = "tmnf",
+                       query_predicate: str | tuple[str, ...] | None = None) -> QueryResult:
+        """Evaluate with the naive datalog fixpoint baseline (reference semantics)."""
+        program = compile_query(query, language=language, query_predicate=query_predicate)
+        result = evaluate_fixpoint(program, self._require_binary())
+        counts = {pred: len(nodes) for pred, nodes in result.selected.items()}
+        return QueryResult(
+            program=program,
+            selected=result.selected,
+            counts=counts,
+            statistics=EvaluationStatistics(nodes=self.n_nodes,
+                                            selected=counts.get(program.query_predicates[0], 0)),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+
+    def to_xml(self, selected: Iterable[int] = frozenset()) -> str:
+        """Serialise the document with ``selected`` nodes marked up.
+
+        This is the paper's default output mode ("the entire XML document is
+        returned with selected nodes marked up in the usual XML fashion").
+        """
+        return serialize_with_selection(self.unranked_tree(), selected)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        location = "disk" if self.is_on_disk else "memory"
+        return f"Database({self.name or '<anonymous>'}, {self.n_nodes} nodes, {location})"

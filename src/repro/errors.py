@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised deliberately by the library derives from
+:class:`ReproError`, so applications can catch a single exception type at the
+API boundary while still being able to distinguish parse errors, storage
+corruption and evaluation problems when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro/Arb library."""
+
+
+class TreeError(ReproError):
+    """Raised for malformed trees or invalid node references."""
+
+
+class XMLParseError(ReproError):
+    """Raised when an XML document cannot be parsed into a tree."""
+
+
+class TMNFSyntaxError(ReproError):
+    """Raised when a TMNF / caterpillar program cannot be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class TMNFValidationError(ReproError):
+    """Raised when a syntactically valid program violates TMNF restrictions."""
+
+
+class XPathSyntaxError(ReproError):
+    """Raised when an XPath expression cannot be parsed."""
+
+
+class XPathUnsupportedError(ReproError):
+    """Raised when an XPath expression is outside the supported fragment."""
+
+
+class StorageError(ReproError):
+    """Raised for .arb / .lab / .evt file format or I/O problems."""
+
+
+class StorageFormatError(StorageError):
+    """Raised when an on-disk structure is corrupt or has a bad magic/version."""
+
+
+class EvaluationError(ReproError):
+    """Raised when query evaluation fails (e.g. unknown query predicate)."""

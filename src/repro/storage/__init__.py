@@ -1,0 +1,29 @@
+"""The Arb secondary-storage model: .arb databases, linear scans, disk engine."""
+
+from repro.storage.build import BuildStatistics, DatabaseBuilder, build_database
+from repro.storage.database import ArbDatabase
+from repro.storage.disk_engine import DiskEvaluationResult, DiskQueryEngine
+from repro.storage.labels import LabelTable
+from repro.storage.paging import IOStatistics, PagedReader, PagedWriter
+from repro.storage.records import DEFAULT_RECORD_SIZE, NodeRecord, decode_node, encode_node
+from repro.storage.traversal import ScanResult, scan_bottom_up, scan_top_down
+
+__all__ = [
+    "ArbDatabase",
+    "BuildStatistics",
+    "DatabaseBuilder",
+    "build_database",
+    "DiskQueryEngine",
+    "DiskEvaluationResult",
+    "LabelTable",
+    "IOStatistics",
+    "PagedReader",
+    "PagedWriter",
+    "NodeRecord",
+    "encode_node",
+    "decode_node",
+    "DEFAULT_RECORD_SIZE",
+    "ScanResult",
+    "scan_top_down",
+    "scan_bottom_up",
+]

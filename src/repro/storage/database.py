@@ -1,0 +1,152 @@
+"""The `.arb` database object: open, scan, decode, load.
+
+An :class:`ArbDatabase` is a handle on the three files created by
+:mod:`repro.storage.build` (``<base>.arb``, ``<base>.lab``, ``<base>.meta``).
+It exposes the two access paths the paper's algorithms need -- a forward
+linear scan (pre-order) and a backward linear scan (reverse pre-order) -- and
+decodes label indexes back to names through the label table.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.storage.labels import LabelTable
+from repro.storage.paging import DEFAULT_PAGE_SIZE, IOStatistics, PagedReader
+from repro.storage.records import NodeRecord, decode_node
+from repro.tree.binary import NO_NODE, BinaryTree
+
+__all__ = ["ArbDatabase"]
+
+
+@dataclass
+class ArbDatabase:
+    """A read handle on an on-disk Arb tree database."""
+
+    base_path: str
+    n_nodes: int
+    record_size: int
+    labels: LabelTable
+    element_nodes: int = 0
+    char_nodes: int = 0
+    page_size: int = DEFAULT_PAGE_SIZE
+
+    # ------------------------------------------------------------------ #
+    # Opening
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def open(cls, base_path: str, page_size: int = DEFAULT_PAGE_SIZE) -> "ArbDatabase":
+        """Open ``<base_path>.arb`` (with its ``.lab`` and ``.meta`` companions)."""
+        if base_path.endswith(".arb"):
+            base_path = base_path[: -len(".arb")]
+        arb_path = base_path + ".arb"
+        meta_path = base_path + ".meta"
+        if not os.path.exists(arb_path):
+            raise StorageError(f"no such database: {arb_path}")
+        if os.path.exists(meta_path):
+            with open(meta_path, "r", encoding="utf-8") as handle:
+                meta = json.load(handle)
+            record_size = int(meta["record_size"])
+            n_nodes = int(meta["n_nodes"])
+            element_nodes = int(meta.get("element_nodes", 0))
+            char_nodes = int(meta.get("char_nodes", 0))
+        else:
+            # Fall back to the paper's convention: k = 2 and the node count is
+            # implied by the file size.
+            record_size = 2
+            n_nodes = os.path.getsize(arb_path) // record_size
+            element_nodes = char_nodes = 0
+        expected = n_nodes * record_size
+        if os.path.getsize(arb_path) != expected:
+            raise StorageError(
+                f"{arb_path}: size {os.path.getsize(arb_path)} does not match "
+                f"{n_nodes} records of {record_size} bytes"
+            )
+        labels = LabelTable.load(base_path + ".lab", max_index=(1 << (8 * record_size - 2)) - 1)
+        return cls(
+            base_path=base_path,
+            n_nodes=n_nodes,
+            record_size=record_size,
+            labels=labels,
+            element_nodes=element_nodes,
+            char_nodes=char_nodes,
+            page_size=page_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Scans
+    # ------------------------------------------------------------------ #
+
+    @property
+    def arb_path(self) -> str:
+        return self.base_path + ".arb"
+
+    def file_size(self) -> int:
+        return os.path.getsize(self.arb_path)
+
+    def reader(self, stats: IOStatistics | None = None) -> PagedReader:
+        return PagedReader(self.arb_path, self.page_size, stats=stats)
+
+    def records_forward(self, stats: IOStatistics | None = None) -> Iterator[NodeRecord]:
+        """All node records in pre-order (one forward linear scan)."""
+        reader = self.reader(stats)
+        for raw in reader.records_forward(self.record_size):
+            yield decode_node(raw, self.record_size)
+
+    def records_backward(self, stats: IOStatistics | None = None) -> Iterator[NodeRecord]:
+        """All node records in reverse pre-order (one backward linear scan)."""
+        reader = self.reader(stats)
+        for raw in reader.records_backward(self.record_size):
+            yield decode_node(raw, self.record_size)
+
+    def label_name(self, record: NodeRecord) -> str:
+        return self.labels.name_of(record.label_index)
+
+    # ------------------------------------------------------------------ #
+    # Materialisation (for tests, small databases and the in-memory engine)
+    # ------------------------------------------------------------------ #
+
+    def to_binary_tree(self) -> BinaryTree:
+        """Load the database into an in-memory :class:`BinaryTree`.
+
+        The structure is reconstructed from the child flags during a single
+        forward scan with the stack discipline of Proposition 5.1.
+        """
+        labels: list[str] = []
+        first_child = [NO_NODE] * self.n_nodes
+        second_child = [NO_NODE] * self.n_nodes
+        # Stack of node ids still waiting for their second child's subtree.
+        awaiting_second: list[int] = []
+        # The node that the *next* record attaches to, and how.
+        attach_to: int | None = None
+        attach_which = 0
+        for index, record in enumerate(self.records_forward()):
+            labels.append(self.label_name(record))
+            if index > 0:
+                if attach_to is None:
+                    if not awaiting_second:
+                        raise StorageError("corrupt database: dangling record")
+                    parent = awaiting_second.pop()
+                    second_child[parent] = index
+                elif attach_which == 1:
+                    first_child[attach_to] = index
+                else:
+                    second_child[attach_to] = index
+            if record.has_first_child and record.has_second_child:
+                awaiting_second.append(index)
+                attach_to, attach_which = index, 1
+            elif record.has_first_child:
+                attach_to, attach_which = index, 1
+            elif record.has_second_child:
+                attach_to, attach_which = index, 2
+            else:
+                attach_to = None
+        return BinaryTree(labels, first_child, second_child)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArbDatabase({self.base_path!r}, {self.n_nodes} nodes, k={self.record_size})"

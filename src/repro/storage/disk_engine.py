@@ -1,0 +1,214 @@
+"""Two-phase query evaluation directly over secondary storage (Sections 4-5).
+
+The :class:`DiskQueryEngine` runs Algorithm 4.6 against an `.arb` database
+with exactly the access pattern described in the paper:
+
+Phase 1 (bottom-up)
+    One **backward linear scan** of the `.arb` file.  For every node the
+    deterministic bottom-up automaton state (a residual program) is computed
+    lazily from the children's states and the node's label set; the *state
+    id* is streamed to a temporary state file, four bytes per node, in visit
+    order (reverse pre-order).
+
+Phase 2 (top-down)
+    One **forward linear scan** of the `.arb` file, reading the temporary
+    state file **backwards** (which yields the phase-1 states in pre-order,
+    i.e. in lockstep with the forward scan).  For every node the set of true
+    IDB predicates is computed from the parent's set and the node's phase-1
+    state; nodes whose set contains a query predicate are reported.
+
+Main memory holds only the two automata (hash tables of states and
+transitions, computed lazily) and a stack bounded by the depth of the XML
+tree -- never the tree itself.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.two_phase import BOTTOM, EvaluationStatistics, TwoPhaseEvaluator
+from repro.errors import EvaluationError
+from repro.storage.database import ArbDatabase
+from repro.storage.paging import IOStatistics, PagedReader, PagedWriter
+from repro.storage.records import NodeRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tmnf.program import TMNFProgram
+
+__all__ = ["DiskQueryEngine", "DiskEvaluationResult"]
+
+#: Bytes per entry of the temporary state file ("four bytes per node").
+STATE_ENTRY_SIZE = 4
+_STATE_STRUCT = struct.Struct(">I")
+
+
+@dataclass
+class DiskEvaluationResult:
+    """Query answers plus the statistics needed by the benchmark harness."""
+
+    selected: dict[str, list[int]]
+    statistics: EvaluationStatistics
+    io: IOStatistics
+    phase1_stack_depth: int = 0
+    phase2_stack_depth: int = 0
+    state_file_bytes: int = 0
+    selected_counts: dict[str, int] = field(default_factory=dict)
+
+    def selected_nodes(self, predicate: str | None = None) -> list[int]:
+        if predicate is None:
+            predicate = next(iter(self.selected))
+        if predicate not in self.selected:
+            raise EvaluationError(f"no such query predicate: {predicate!r}")
+        return self.selected[predicate]
+
+
+class DiskQueryEngine:
+    """Evaluate a TMNF program over an `.arb` database in two linear scans."""
+
+    def __init__(self, program: "TMNFProgram", *, memoize: bool = True,
+                 collect_selected_nodes: bool = True):
+        self.program = program
+        self.core = TwoPhaseEvaluator(program, memoize=memoize)
+        self.collect_selected_nodes = collect_selected_nodes
+        self._schema = program.prop_local().schema
+
+    # ------------------------------------------------------------------ #
+
+    def evaluate(self, database: ArbDatabase, *, temp_dir: str | None = None) -> DiskEvaluationResult:
+        """Run both phases against ``database``.
+
+        ``temp_dir`` controls where the temporary state file is created
+        (default: alongside the database).
+        """
+        io = IOStatistics()
+        directory = temp_dir or os.path.dirname(os.path.abspath(database.arb_path)) or "."
+        handle = tempfile.NamedTemporaryFile(
+            prefix=os.path.basename(database.base_path) + ".state.",
+            dir=directory,
+            delete=False,
+        )
+        state_path = handle.name
+        handle.close()
+        try:
+            phase1_depth = self._run_phase1(database, state_path, io)
+            state_file_bytes = os.path.getsize(state_path)
+            selected, counts, phase2_depth = self._run_phase2(database, state_path, io)
+        finally:
+            if os.path.exists(state_path):
+                os.remove(state_path)
+
+        stats = self.core.stats
+        stats.nodes = database.n_nodes
+        first_query = self.program.query_predicates[0]
+        stats.selected = counts.get(first_query, 0)
+        stats.memory_estimate_kb = self.core._memory_estimate_kb()
+        return DiskEvaluationResult(
+            selected=selected,
+            statistics=stats,
+            io=io,
+            phase1_stack_depth=phase1_depth,
+            phase2_stack_depth=phase2_depth,
+            state_file_bytes=state_file_bytes,
+            selected_counts=counts,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Phase 1: backward scan, write state file
+    # ------------------------------------------------------------------ #
+
+    def _run_phase1(self, database: ArbDatabase, state_path: str, io: IOStatistics) -> int:
+        started = time.perf_counter()
+        schema = self._schema
+        core = self.core
+        compute = core.compute_reachable_states
+        n = database.n_nodes
+        stack: list[int] = []
+        max_depth = 0
+        count = 0
+        with PagedWriter(state_path, database.page_size, stats=io) as state_writer:
+            for offset, record in enumerate(database.records_backward(stats=io)):
+                node_id = n - 1 - offset
+                first_state = BOTTOM
+                second_state = BOTTOM
+                if record.has_first_child:
+                    first_state = stack.pop()
+                if record.has_second_child:
+                    second_state = stack.pop()
+                labels = schema.label_set_for(
+                    database.label_name(record),
+                    is_root=node_id == 0,
+                    has_first_child=record.has_first_child,
+                    has_second_child=record.has_second_child,
+                )
+                state = compute(first_state, second_state, labels)
+                state_writer.write(_STATE_STRUCT.pack(state))
+                stack.append(state)
+                if len(stack) > max_depth:
+                    max_depth = len(stack)
+                count += 1
+        if count != n or len(stack) != 1:
+            raise EvaluationError("phase 1 did not consume the database consistently")
+        # Timing bookkeeping matches the in-memory evaluator's convention.
+        core.stats.bu_seconds += time.perf_counter() - started
+        core.stats.bu_states = core.n_bottom_up_states
+        return max_depth
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: forward scan + backward read of the state file
+    # ------------------------------------------------------------------ #
+
+    def _run_phase2(
+        self, database: ArbDatabase, state_path: str, io: IOStatistics
+    ) -> tuple[dict[str, list[int]], dict[str, int], int]:
+        started = time.perf_counter()
+        core = self.core
+        compute = core.compute_true_preds
+        query_predicates = self.program.query_predicates
+        selected: dict[str, list[int]] = {pred: [] for pred in query_predicates}
+        counts: dict[str, int] = {pred: 0 for pred in query_predicates}
+
+        state_reader = PagedReader(state_path, database.page_size, stats=io)
+        states = (
+            _STATE_STRUCT.unpack(raw)[0]
+            for raw in state_reader.records_backward(STATE_ENTRY_SIZE)
+        )
+
+        awaiting_second: list[frozenset[str]] = []
+        next_attachment: tuple[frozenset[str], int] | None = None
+        max_depth = 0
+        for index, record in enumerate(database.records_forward(stats=io)):
+            try:
+                own_state = next(states)
+            except StopIteration as exc:  # pragma: no cover - defensive
+                raise EvaluationError("state file shorter than the database") from exc
+            if index == 0:
+                preds = core.root_true_preds(own_state)
+            else:
+                if next_attachment is not None:
+                    parent_preds, which = next_attachment
+                else:
+                    parent_preds, which = awaiting_second.pop(), 2
+                preds = compute(parent_preds, own_state, which)
+            for pred in query_predicates:
+                if pred in preds:
+                    counts[pred] += 1
+                    if self.collect_selected_nodes:
+                        selected[pred].append(index)
+            if record.has_first_child and record.has_second_child:
+                awaiting_second.append(preds)
+                if len(awaiting_second) > max_depth:
+                    max_depth = len(awaiting_second)
+                next_attachment = (preds, 1)
+            elif record.has_first_child:
+                next_attachment = (preds, 1)
+            elif record.has_second_child:
+                next_attachment = (preds, 2)
+            else:
+                next_attachment = None
+        core.stats.td_seconds += time.perf_counter() - started
+        return selected, counts, max_depth

@@ -1,0 +1,104 @@
+"""The `.lab` label-name table.
+
+Labels are stored in `.arb` records as integer indexes.  Indexes ``0..255``
+are reserved for text characters (the character with code point ``c`` has
+index ``c``); every other label -- mostly element tag names -- is assigned an
+index ``>= 256`` and its name is recorded in the companion ``.lab`` file as
+the ``(i - 255)``-th whitespace-separated entry (Section 5).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import StorageError
+
+__all__ = ["LabelTable", "FIRST_TAG_INDEX", "CHARACTER_INDEX_LIMIT"]
+
+#: Indexes below this value denote text characters (the index is the code point).
+CHARACTER_INDEX_LIMIT = 256
+#: Index assigned to the first non-character label.
+FIRST_TAG_INDEX = 256
+
+
+class LabelTable:
+    """Bidirectional mapping between label names and `.arb` label indexes."""
+
+    def __init__(self, max_index: int = (1 << 14) - 1):
+        self.max_index = max_index
+        self._name_to_index: dict[str, int] = {}
+        self._names: list[str] = []  # names for indexes FIRST_TAG_INDEX, FIRST_TAG_INDEX+1, ...
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+
+    def index_of(self, label: str, *, is_text: bool = False) -> int:
+        """The index for ``label``, registering a new tag index if needed.
+
+        Single characters of text are mapped to their code point when it fits
+        in the reserved character range; everything else goes through the
+        tag-name table.
+        """
+        if is_text and len(label) == 1 and ord(label) < CHARACTER_INDEX_LIMIT:
+            return ord(label)
+        existing = self._name_to_index.get(label)
+        if existing is not None:
+            return existing
+        index = FIRST_TAG_INDEX + len(self._names)
+        if index > self.max_index:
+            raise StorageError(
+                f"label table overflow: more than {self.max_index - FIRST_TAG_INDEX + 1} "
+                "distinct tag names (increase the record size k)"
+            )
+        if any(ch.isspace() for ch in label):
+            raise StorageError(f"tag names must not contain whitespace: {label!r}")
+        self._name_to_index[label] = index
+        self._names.append(label)
+        return index
+
+    def name_of(self, index: int) -> str:
+        """The label name for an index (characters map back to themselves)."""
+        if index < CHARACTER_INDEX_LIMIT:
+            return chr(index)
+        position = index - FIRST_TAG_INDEX
+        if position >= len(self._names):
+            raise StorageError(f"unknown label index {index}")
+        return self._names[position]
+
+    def is_character_index(self, index: int) -> bool:
+        return index < CHARACTER_INDEX_LIMIT
+
+    @property
+    def n_tags(self) -> int:
+        """Number of non-character labels (column (3) of Figure 5)."""
+        return len(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(" ".join(self._names))
+
+    @classmethod
+    def load(cls, path: str, max_index: int = (1 << 14) - 1) -> "LabelTable":
+        if not os.path.exists(path):
+            raise StorageError(f"missing label file: {path}")
+        table = cls(max_index=max_index)
+        with open(path, "r", encoding="utf-8") as handle:
+            content = handle.read()
+        for name in content.split():
+            table._name_to_index[name] = FIRST_TAG_INDEX + len(table._names)
+            table._names.append(name)
+        return table
+
+    def file_size(self) -> int:
+        """Size in bytes the ``.lab`` file will occupy."""
+        if not self._names:
+            return 0
+        return sum(len(name.encode("utf-8")) for name in self._names) + len(self._names) - 1

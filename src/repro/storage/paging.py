@@ -1,0 +1,250 @@
+"""Paged sequential file I/O with instrumentation.
+
+The whole point of the Arb storage model is that query evaluation touches the
+data with a small constant number of *linear scans* (forward or backward),
+never with random accesses.  This module provides block-buffered readers and
+writers that
+
+* read/write fixed-size records sequentially in either direction, and
+* count bytes, pages and seeks, so the benchmarks and tests can *verify* the
+  access pattern rather than assert it rhetorically (see
+  ``benchmarks/bench_io_behavior.py`` and the storage tests).
+
+Pages are ``page_size`` bytes (default 64 KiB).  A "seek" is counted whenever
+the file position moves anywhere other than the next/previous contiguous
+page.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import StorageError
+
+__all__ = [
+    "IOStatistics",
+    "PagedReader",
+    "PagedWriter",
+    "BackwardPagedWriter",
+    "DEFAULT_PAGE_SIZE",
+]
+
+DEFAULT_PAGE_SIZE = 64 * 1024
+
+
+@dataclass
+class IOStatistics:
+    """Byte/page/seek counters accumulated by paged readers and writers."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    pages_read: int = 0
+    pages_written: int = 0
+    seeks: int = 0
+
+    def merge(self, other: "IOStatistics") -> "IOStatistics":
+        return IOStatistics(
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            pages_read=self.pages_read + other.pages_read,
+            pages_written=self.pages_written + other.pages_written,
+            seeks=self.seeks + other.seeks,
+        )
+
+
+@dataclass
+class PagedWriter:
+    """Append-only page-buffered writer."""
+
+    path: str
+    page_size: int = DEFAULT_PAGE_SIZE
+    stats: IOStatistics = field(default_factory=IOStatistics)
+
+    def __post_init__(self) -> None:
+        self._handle = open(self.path, "wb")
+        self._buffer = bytearray()
+
+    def write(self, data: bytes) -> None:
+        self._buffer.extend(data)
+        while len(self._buffer) >= self.page_size:
+            self._flush_page(self.page_size)
+
+    def _flush_page(self, size: int) -> None:
+        chunk = bytes(self._buffer[:size])
+        del self._buffer[:size]
+        self._handle.write(chunk)
+        self.stats.bytes_written += len(chunk)
+        self.stats.pages_written += 1
+
+    def close(self) -> None:
+        if self._buffer:
+            self._flush_page(len(self._buffer))
+        self._handle.close()
+
+    def __enter__(self) -> "PagedWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class BackwardPagedWriter:
+    """Writer that fills a file of known size from the end towards the start.
+
+    This is how `.arb` databases are created (Section 5): the total size
+    ``k * n`` is known after the first (event-counting) pass, the file is then
+    written backwards while the event file is read backwards.  Writes are
+    buffered into pages, so the file is touched with one page-sized write per
+    page plus one positioning seek per page.
+    """
+
+    def __init__(self, path: str, total_size: int, page_size: int = DEFAULT_PAGE_SIZE,
+                 stats: IOStatistics | None = None):
+        self.path = path
+        self.total_size = total_size
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStatistics()
+        self._handle = open(path, "wb")
+        # Pre-extend the file to its final size so backward page writes land
+        # inside an existing allocation.
+        if total_size:
+            self._handle.truncate(total_size)
+        self._position = total_size  # everything at and above this offset is written
+        self._chunks: list[bytes] = []  # arrival order; chunk i precedes chunk i-1 on disk
+        self._buffered = 0
+
+    def write(self, data: bytes) -> None:
+        """Write ``data`` immediately *before* everything written so far."""
+        self._chunks.append(bytes(data))
+        self._buffered += len(data)
+        if self._buffered >= self.page_size:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._chunks:
+            return
+        # The earliest-arrived chunk occupies the highest disk offsets, so the
+        # on-disk byte order of the buffered region is the reverse arrival order.
+        chunk = b"".join(reversed(self._chunks))
+        self._chunks.clear()
+        self._buffered = 0
+        start = self._position - len(chunk)
+        if start < 0:
+            raise StorageError("BackwardPagedWriter overflow: wrote more than total_size bytes")
+        self._handle.seek(start)
+        self._handle.write(chunk)
+        self.stats.seeks += 1
+        self.stats.bytes_written += len(chunk)
+        self.stats.pages_written += 1
+        self._position = start
+
+    def close(self) -> None:
+        self._flush()
+        if self._position != 0:
+            self._handle.close()
+            raise StorageError(
+                f"BackwardPagedWriter underflow: {self._position} bytes were never written"
+            )
+        self._handle.close()
+
+    def __enter__(self) -> "BackwardPagedWriter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is None:
+            self.close()
+        else:  # do not mask the original error with an underflow complaint
+            self._handle.close()
+
+
+class PagedReader:
+    """Page-buffered reader of fixed-size records, forward or backward.
+
+    The reader is strictly sequential within one scan; creating a new scan
+    (calling :meth:`records_forward` / :meth:`records_backward` again) counts
+    one seek, as would happen with a real file descriptor repositioned to the
+    start or end of the file.
+    """
+
+    def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
+                 stats: IOStatistics | None = None):
+        if not os.path.exists(path):
+            raise StorageError(f"no such file: {path}")
+        self.path = path
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStatistics()
+        self.file_size = os.path.getsize(path)
+
+    # ------------------------------------------------------------------ #
+
+    def records_forward(self, record_size: int, offset: int = 0, count: int | None = None):
+        """Yield fixed-size records from ``offset`` towards the end of the file."""
+        if record_size <= 0:
+            raise StorageError("record_size must be positive")
+        total = (self.file_size - offset) // record_size if count is None else count
+        self.stats.seeks += 1
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            emitted = 0
+            leftover = b""
+            while emitted < total:
+                page = handle.read(self.page_size)
+                if not page:
+                    break
+                self.stats.bytes_read += len(page)
+                self.stats.pages_read += 1
+                data = leftover + page
+                usable = len(data) - (len(data) % record_size)
+                for position in range(0, usable, record_size):
+                    if emitted >= total:
+                        break
+                    yield data[position : position + record_size]
+                    emitted += 1
+                leftover = data[usable:]
+            if emitted < total:
+                raise StorageError(
+                    f"{self.path}: expected {total} records of {record_size} bytes, got {emitted}"
+                )
+
+    def records_backward(self, record_size: int, count: int | None = None):
+        """Yield fixed-size records from the end of the file towards the start."""
+        if record_size <= 0:
+            raise StorageError("record_size must be positive")
+        usable_size = self.file_size - (self.file_size % record_size)
+        total = usable_size // record_size if count is None else count
+        self.stats.seeks += 1
+        with open(self.path, "rb") as handle:
+            position = usable_size
+            emitted = 0
+            buffer = b""
+            buffer_start = position
+            # Read whole pages that are record-aligned so that backward
+            # iteration never has to stitch a record across two reads.
+            aligned_page = max(self.page_size // record_size, 1) * record_size
+            while emitted < total:
+                if buffer_start >= position or not buffer:
+                    read_size = min(aligned_page, position)
+                    if read_size == 0:
+                        break
+                    buffer_start = position - read_size
+                    handle.seek(buffer_start)
+                    buffer = handle.read(read_size)
+                    self.stats.bytes_read += len(buffer)
+                    self.stats.pages_read += 1
+                # Emit records from the tail of the buffer.
+                in_buffer = (position - buffer_start) // record_size
+                for index in range(in_buffer - 1, -1, -1):
+                    if emitted >= total:
+                        break
+                    start = index * record_size
+                    yield buffer[start : start + record_size]
+                    emitted += 1
+                    position -= record_size
+                if position == 0:
+                    break
+            if emitted < total:
+                raise StorageError(
+                    f"{self.path}: expected {total} records of {record_size} bytes, got {emitted}"
+                )

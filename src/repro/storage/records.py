@@ -1,0 +1,101 @@
+"""On-disk record formats: `.arb` node records and `.evt` SAX-event records.
+
+`.arb` node records (Section 5)
+    Each node is a fixed-size field of ``k`` bytes (default ``k = 2``).  The
+    two highest bits say whether the node has a first and/or second (binary)
+    child; the remaining ``8k - 2`` bits hold the label index.  Nodes are
+    stored in pre-order.
+
+`.evt` event records
+    The temporary event file written during database creation holds two
+    fixed-size events per node (a *begin* and an *end* event); the highest
+    bit distinguishes begin from end and the remaining bits hold the label
+    index.  The paper uses two bytes per event; we allow the same ``k`` as the
+    node records so larger label spaces remain possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import StorageFormatError
+
+__all__ = [
+    "DEFAULT_RECORD_SIZE",
+    "NodeRecord",
+    "encode_node",
+    "decode_node",
+    "encode_event",
+    "decode_event",
+    "max_label_index",
+]
+
+DEFAULT_RECORD_SIZE = 2
+
+
+def max_label_index(record_size: int = DEFAULT_RECORD_SIZE) -> int:
+    """Largest label index representable in a node record of ``record_size`` bytes."""
+    return (1 << (8 * record_size - 2)) - 1
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRecord:
+    """A decoded `.arb` node record."""
+
+    label_index: int
+    has_first_child: bool
+    has_second_child: bool
+
+
+def encode_node(
+    label_index: int,
+    has_first_child: bool,
+    has_second_child: bool,
+    record_size: int = DEFAULT_RECORD_SIZE,
+) -> bytes:
+    """Encode one node record (big-endian, flags in the two highest bits)."""
+    limit = max_label_index(record_size)
+    if not 0 <= label_index <= limit:
+        raise StorageFormatError(
+            f"label index {label_index} out of range for k={record_size} (max {limit})"
+        )
+    value = label_index
+    if has_first_child:
+        value |= 1 << (8 * record_size - 1)
+    if has_second_child:
+        value |= 1 << (8 * record_size - 2)
+    return value.to_bytes(record_size, "big")
+
+
+def decode_node(data: bytes, record_size: int = DEFAULT_RECORD_SIZE) -> NodeRecord:
+    """Decode one node record produced by :func:`encode_node`."""
+    if len(data) != record_size:
+        raise StorageFormatError(f"expected {record_size} bytes, got {len(data)}")
+    value = int.from_bytes(data, "big")
+    first_bit = 1 << (8 * record_size - 1)
+    second_bit = 1 << (8 * record_size - 2)
+    return NodeRecord(
+        label_index=value & (second_bit - 1),
+        has_first_child=bool(value & first_bit),
+        has_second_child=bool(value & second_bit),
+    )
+
+
+def encode_event(label_index: int, is_end: bool, record_size: int = DEFAULT_RECORD_SIZE) -> bytes:
+    """Encode one SAX event record (highest bit: 1 = end event)."""
+    limit = (1 << (8 * record_size - 1)) - 1
+    if not 0 <= label_index <= limit:
+        raise StorageFormatError(
+            f"label index {label_index} out of range for event records of {record_size} bytes"
+        )
+    value = label_index | ((1 << (8 * record_size - 1)) if is_end else 0)
+    return value.to_bytes(record_size, "big")
+
+
+def decode_event(data: bytes, record_size: int = DEFAULT_RECORD_SIZE) -> tuple[int, bool]:
+    """Decode an event record; returns ``(label_index, is_end)``."""
+    if len(data) != record_size:
+        raise StorageFormatError(f"expected {record_size} bytes, got {len(data)}")
+    value = int.from_bytes(data, "big")
+    end_bit = 1 << (8 * record_size - 1)
+    return value & (end_bit - 1), bool(value & end_bit)

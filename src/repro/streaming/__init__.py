@@ -1,0 +1,5 @@
+"""One-pass streaming baseline engine (lazy DFA over SAX events)."""
+
+from repro.streaming.engine import StreamingEngine, StreamPathQuery, stream_select
+
+__all__ = ["StreamingEngine", "StreamPathQuery", "stream_select"]

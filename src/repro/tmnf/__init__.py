@@ -1,0 +1,49 @@
+"""TMNF: the tree-marking normal form query language of the Arb system."""
+
+from repro.tmnf.ast import CaterpillarRule, DownRule, LocalRule, UpRule
+from repro.tmnf.caterpillar import (
+    Alt,
+    CatExpr,
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Star,
+    Step,
+    StepNFA,
+    alternation,
+    concat,
+    expr_size,
+    reverse_expr,
+    step,
+)
+from repro.tmnf.compile import compile_rules
+from repro.tmnf.parser import parse_rules
+from repro.tmnf.program import TMNFProgram
+from repro.tmnf.proplocal import PropLocalProgram, prop_local
+
+__all__ = [
+    "TMNFProgram",
+    "PropLocalProgram",
+    "prop_local",
+    "parse_rules",
+    "compile_rules",
+    "LocalRule",
+    "DownRule",
+    "UpRule",
+    "CaterpillarRule",
+    "CatExpr",
+    "Step",
+    "Epsilon",
+    "Concat",
+    "Alt",
+    "Star",
+    "Plus",
+    "Optional",
+    "StepNFA",
+    "step",
+    "concat",
+    "alternation",
+    "expr_size",
+    "reverse_expr",
+]

@@ -1,0 +1,134 @@
+"""Compilation of caterpillar rules into strict(ened) TMNF.
+
+Programs containing caterpillar expressions can be translated into TMNF in
+linear time (Section 2.2, citing [9]).  The translation implemented here goes
+through the position/Thompson NFA of the expression:
+
+for a rule ``H :- Start.R;`` with NFA states ``q0 .. qm`` (initial ``q0``,
+accepting set ``F``) we introduce one fresh IDB predicate ``A_qi`` per state,
+meaning "some walk that started on a ``Start`` node and has matched a prefix
+of ``R`` can currently be at this node in NFA state ``qi``", and emit:
+
+* ``A_q0 :- Start``                                (seed),
+* for a transition ``qi --B--> qj`` over a move ``B``:
+  a :class:`DownRule`/:class:`UpRule` deriving ``A_qj`` across the relation,
+* for a transition ``qi --U--> qj`` over a unary test ``U``:
+  the local rule ``A_qj :- A_qi, U``,
+* ``H :- A_qf`` for every accepting state ``qf``.
+
+The output uses only :class:`LocalRule`, :class:`DownRule` and
+:class:`UpRule`; the number of rules is linear in the size of the expression.
+
+The same pass also normalises rules whose "body predicate" is a unary EDB
+predicate or ``V`` (allowed in the surface syntax, not in strict TMNF) by
+introducing wrapper IDB predicates.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TMNFValidationError
+from repro.tmnf import ast
+from repro.tmnf.caterpillar import Step, StepNFA
+from repro.tree import model as tree_model
+
+__all__ = ["compile_rules", "compile_caterpillar_rule"]
+
+
+class _FreshNames:
+    """Generator of fresh IDB predicate names that cannot clash with user names."""
+
+    def __init__(self) -> None:
+        self.counter = 0
+
+    def next(self, hint: str) -> str:
+        self.counter += 1
+        return f"_cat[{hint}/{self.counter}]"
+
+
+def compile_rules(rules: list[ast.SurfaceRule]) -> list[ast.InternalRule]:
+    """Compile surface rules (possibly with caterpillars) to internal rules."""
+    fresh = _FreshNames()
+    wrappers: dict[str, str] = {}
+    internal: list[ast.InternalRule] = []
+    wrapper_rules: list[ast.InternalRule] = []
+
+    def wrap_edb(name: str) -> str:
+        """Return an IDB predicate equivalent to the unary EDB predicate ``name``."""
+        if name not in wrappers:
+            wrapper = f"_edb[{name}]"
+            wrappers[name] = wrapper
+            body = () if name == ast.UNIVERSE else (name,)
+            wrapper_rules.append(ast.LocalRule(wrapper, body))
+        return wrappers[name]
+
+    def as_idb(name: str) -> str:
+        if name == ast.UNIVERSE or ast.is_unary_edb(name):
+            return wrap_edb(name)
+        return name
+
+    for rule in rules:
+        if isinstance(rule, ast.LocalRule):
+            internal.append(rule)
+        elif isinstance(rule, ast.DownRule):
+            internal.append(ast.DownRule(rule.head, as_idb(rule.body_pred), rule.relation))
+        elif isinstance(rule, ast.UpRule):
+            internal.append(ast.UpRule(rule.head, as_idb(rule.body_pred), rule.relation))
+        elif isinstance(rule, ast.CaterpillarRule):
+            internal.extend(compile_caterpillar_rule(rule, fresh, as_idb))
+        else:  # pragma: no cover - defensive
+            raise TMNFValidationError(f"unknown rule type: {rule!r}")
+    return wrapper_rules + internal
+
+
+def compile_caterpillar_rule(
+    rule: ast.CaterpillarRule,
+    fresh: _FreshNames | None = None,
+    as_idb=None,
+) -> list[ast.InternalRule]:
+    """Compile a single caterpillar rule; see the module docstring."""
+    if fresh is None:
+        fresh = _FreshNames()
+    if as_idb is None:
+        as_idb = lambda name: name  # noqa: E731 - trivial default
+
+    nfa = StepNFA.from_expr(rule.expr)
+    start_pred = rule.start if not (rule.start == ast.UNIVERSE or ast.is_unary_edb(rule.start)) else None
+
+    state_preds = {state: fresh.next(rule.head) for state in range(nfa.n_states)}
+    out: list[ast.InternalRule] = []
+
+    # Seed the initial state from the start predicate.
+    seed_body: tuple[str, ...]
+    if start_pred is not None:
+        seed_body = (start_pred,)
+    elif rule.start == ast.UNIVERSE:
+        seed_body = ()
+    else:
+        seed_body = (rule.start,)  # a unary EDB test is a valid local body atom
+    out.append(ast.LocalRule(state_preds[nfa.initial], seed_body))
+
+    for source, symbol, target in nfa.all_edges():
+        source_pred = state_preds[source]
+        target_pred = state_preds[target]
+        out.extend(_transition_rules(source_pred, symbol, target_pred))
+
+    for accepting in sorted(nfa.accepting):
+        out.append(ast.LocalRule(rule.head, (state_preds[accepting],)))
+    return out
+
+
+def _transition_rules(source_pred: str, symbol: Step, target_pred: str) -> list[ast.InternalRule]:
+    """Rules implementing one NFA transition."""
+    name = symbol.name
+    if name == tree_model.FIRST_CHILD:
+        return [ast.DownRule(target_pred, source_pred, tree_model.FIRST_CHILD)]
+    if name == tree_model.SECOND_CHILD:
+        return [ast.DownRule(target_pred, source_pred, tree_model.SECOND_CHILD)]
+    if name == tree_model.INV_FIRST_CHILD:
+        return [ast.UpRule(target_pred, source_pred, tree_model.FIRST_CHILD)]
+    if name == tree_model.INV_SECOND_CHILD:
+        return [ast.UpRule(target_pred, source_pred, tree_model.SECOND_CHILD)]
+    if name == ast.UNIVERSE:
+        return [ast.LocalRule(target_pred, (source_pred,))]
+    # Unary test: stay on the node, require the test to hold.
+    return [ast.LocalRule(target_pred, (source_pred, name))]

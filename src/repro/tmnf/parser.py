@@ -1,0 +1,372 @@
+"""Parser for the Arb surface syntax of TMNF programs.
+
+The accepted grammar (whitespace-insensitive, ``#`` and ``//`` start
+line comments)::
+
+    program   :=  rule*
+    rule      :=  IDENT ':-' body ';'
+    body      :=  item (',' item)*
+    item      :=  path
+    path      :=  alternation                    -- a caterpillar expression
+    alternation := concatenation ('|' concatenation)*
+    concatenation := factor ('.' factor)*
+    factor    :=  atom postfix*
+    postfix   :=  '*' | '+' | '?'
+    atom      :=  NAME | '(' alternation ')'
+    NAME      :=  '-'? identifier ('[' ... ']')?
+
+Each body *item* is a path whose first factor must be a plain predicate name
+(the start predicate); the remaining factors form the caterpillar expression.
+An item consisting of a single name is a plain predicate occurrence.  This
+covers strict TMNF:
+
+* ``P :- U;``              -- one item, a unary EDB name
+* ``P :- P0.FirstChild;``  -- one item, one binary step: template (2)
+* ``P :- P0.invFirstChild;`` -- template (3)
+* ``P :- P1, P2;``         -- two items: template (4)
+
+and the extended caterpillar syntax of Section 2.2, e.g.::
+
+    QUERY :- V.Label[S].R.Label[VP].(R.Label[NP].R.Label[PP])*.R.Label[NP];
+
+Binary relation names and the unary aliases (``Leaf``, ``LastSibling``,
+``NextSibling`` ...) are case-insensitive; label predicates are written
+``Label[tag]`` and are case-sensitive inside the brackets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TMNFSyntaxError
+from repro.tmnf import caterpillar as cat
+from repro.tmnf.ast import CaterpillarRule, DownRule, LocalRule, SurfaceRule, UpRule
+from repro.tree import model as tree_model
+
+__all__ = ["parse_program", "parse_rules", "ParsedItem"]
+
+
+# --------------------------------------------------------------------------- #
+# Tokenizer
+# --------------------------------------------------------------------------- #
+
+_PUNCTUATION = {
+    ":-": "IMPLIES",
+    ";": "SEMI",
+    ",": "COMMA",
+    ".": "DOT",
+    "(": "LPAREN",
+    ")": "RPAREN",
+    "*": "STAR",
+    "+": "PLUS",
+    "?": "QMARK",
+    "|": "PIPE",
+}
+
+# Canonical spellings for case-insensitive relation / builtin names.
+_CANONICAL_NAMES = {
+    name.lower(): name
+    for name in (
+        "Root",
+        "HasFirstChild",
+        "HasSecondChild",
+        "FirstChild",
+        "SecondChild",
+        "invFirstChild",
+        "invSecondChild",
+        "NextSibling",
+        "invNextSibling",
+        "Leaf",
+        "LastSibling",
+        "Label",
+        "V",
+    )
+}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str
+    value: str
+    line: int
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line = 1
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char.isspace():
+            index += 1
+            continue
+        if char == "#" or text.startswith("//", index):
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if text.startswith(":-", index):
+            yield _Token("IMPLIES", ":-", line)
+            index += 2
+            continue
+        if char in _PUNCTUATION:
+            yield _Token(_PUNCTUATION[char], char, line)
+            index += 1
+            continue
+        if char == "-" or char == "_" or char.isalpha():
+            start = index
+            if char == "-":
+                index += 1
+            while index < length and (text[index].isalnum() or text[index] in "_"):
+                index += 1
+            name = text[start:index]
+            if name == "-" or (name.startswith("-") and len(name) == 1):
+                raise TMNFSyntaxError("dangling '-'", line)
+            # Optional [..] suffix for Label[...]
+            if index < length and text[index] == "[":
+                close = text.find("]", index)
+                if close == -1:
+                    raise TMNFSyntaxError("unterminated '[' in predicate name", line)
+                name += text[index : close + 1]
+                index = close + 1
+            yield _Token("NAME", name, line)
+            continue
+        raise TMNFSyntaxError(f"unexpected character {char!r}", line)
+    yield _Token("EOF", "", line)
+
+
+def _canonicalize_name(raw: str, line: int) -> str:
+    """Resolve case-insensitive spellings and aliases of builtin names.
+
+    IDB predicate names (anything that is not a builtin relation, alias or
+    ``Label[..]``) are returned unchanged and keep their case.
+    """
+    negative = raw.startswith("-")
+    core = raw[1:] if negative else raw
+    bracket = ""
+    if "[" in core:
+        head, bracket = core.split("[", 1)
+        bracket = "[" + bracket
+        core = head
+    canonical = _CANONICAL_NAMES.get(core.lower(), core)
+    rebuilt = ("-" if negative else "") + canonical + bracket
+    return rebuilt
+
+
+# --------------------------------------------------------------------------- #
+# Parser
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True, slots=True)
+class ParsedItem:
+    """One body item: a start predicate and an optional caterpillar expression."""
+
+    start: str
+    expr: cat.CatExpr | None
+    line: int
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = list(_tokenize(text))
+        self.position = 0
+
+    # -- token helpers -------------------------------------------------- #
+
+    def peek(self) -> _Token:
+        return self.tokens[self.position]
+
+    def next(self) -> _Token:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> _Token:
+        token = self.next()
+        if token.kind != kind:
+            raise TMNFSyntaxError(f"expected {kind}, found {token.value!r}", token.line)
+        return token
+
+    # -- grammar -------------------------------------------------------- #
+
+    def parse_program(self) -> list[tuple[str, list[ParsedItem], int]]:
+        rules = []
+        while self.peek().kind != "EOF":
+            rules.append(self.parse_rule())
+        return rules
+
+    def parse_rule(self) -> tuple[str, list[ParsedItem], int]:
+        head_token = self.expect("NAME")
+        head = head_token.value
+        self.expect("IMPLIES")
+        items = [self.parse_item()]
+        while self.peek().kind == "COMMA":
+            self.next()
+            items.append(self.parse_item())
+        self.expect("SEMI")
+        return head, items, head_token.line
+
+    def parse_item(self) -> ParsedItem:
+        line = self.peek().line
+        expr = self.parse_alternation()
+        # The first factor of the top-level concatenation must be a bare name.
+        start, rest = _split_start(expr, line)
+        return ParsedItem(start=start, expr=rest, line=line)
+
+    def parse_alternation(self) -> cat.CatExpr:
+        parts = [self.parse_concatenation()]
+        while self.peek().kind == "PIPE":
+            self.next()
+            parts.append(self.parse_concatenation())
+        return cat.alternation(parts)
+
+    def parse_concatenation(self) -> cat.CatExpr:
+        parts = [self.parse_factor()]
+        while self.peek().kind == "DOT":
+            self.next()
+            parts.append(self.parse_factor())
+        return cat.concat(parts)
+
+    def parse_factor(self) -> cat.CatExpr:
+        token = self.peek()
+        if token.kind == "LPAREN":
+            self.next()
+            inner = self.parse_alternation()
+            self.expect("RPAREN")
+            expr: cat.CatExpr = inner
+        elif token.kind == "NAME":
+            self.next()
+            expr = cat.step(_canonicalize_name(token.value, token.line))
+        else:
+            raise TMNFSyntaxError(f"expected a predicate or '(', found {token.value!r}", token.line)
+        while self.peek().kind in ("STAR", "PLUS", "QMARK"):
+            op = self.next()
+            if op.kind == "STAR":
+                expr = cat.Star(expr)
+            elif op.kind == "PLUS":
+                expr = cat.Plus(expr)
+            else:
+                expr = cat.Optional(expr)
+        return expr
+
+
+def _split_start(expr: cat.CatExpr, line: int) -> tuple[str, cat.CatExpr | None]:
+    """Split a parsed path into (start predicate, remaining caterpillar expr)."""
+    if isinstance(expr, cat.Step):
+        if expr.is_move():
+            raise TMNFSyntaxError(
+                f"a body item must start with a predicate, not the relation {expr.name!r}", line
+            )
+        return expr.name, None
+    if isinstance(expr, cat.Concat):
+        first = expr.parts[0]
+        if not isinstance(first, cat.Step) or first.is_move():
+            raise TMNFSyntaxError(
+                "a body item must start with a plain predicate name "
+                f"(got {first!s})", line
+            )
+        rest = cat.concat(expr.parts[1:])
+        return first.name, rest
+    raise TMNFSyntaxError(
+        "a body item must start with a plain predicate name before any "
+        "'*', '|' or parenthesised sub-expression", line
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Public entry points
+# --------------------------------------------------------------------------- #
+
+_RELATION_TO_INTERNAL = {
+    tree_model.FIRST_CHILD: ("down", tree_model.FIRST_CHILD),
+    tree_model.SECOND_CHILD: ("down", tree_model.SECOND_CHILD),
+    tree_model.INV_FIRST_CHILD: ("up", tree_model.FIRST_CHILD),
+    tree_model.INV_SECOND_CHILD: ("up", tree_model.SECOND_CHILD),
+}
+
+
+def parse_rules(text: str) -> list[SurfaceRule]:
+    """Parse program text into surface rules (caterpillars not yet compiled)."""
+    parser = _Parser(text)
+    surface: list[SurfaceRule] = []
+    for head, items, line in parser.parse_program():
+        head = _canonicalize_name(head, line)
+        if _is_unary_edb_name(head) or head == "V":
+            raise TMNFSyntaxError(f"rule head {head!r} is an EDB predicate", line)
+        surface.extend(_items_to_rules(head, items, line))
+    return surface
+
+
+def parse_program(text: str):
+    """Parse program text into a :class:`repro.tmnf.program.TMNFProgram`.
+
+    Defined here for convenience; equivalent to ``TMNFProgram.parse(text)``.
+    """
+    from repro.tmnf.program import TMNFProgram
+
+    return TMNFProgram.parse(text)
+
+
+def _items_to_rules(head: str, items: list[ParsedItem], line: int) -> list[SurfaceRule]:
+    """Lower one parsed rule into surface rules.
+
+    * Items that are plain predicates form a single local rule (covering
+      templates (1) and (4) and arbitrary local conjunctions).
+    * An item with a caterpillar expression becomes a :class:`CaterpillarRule`
+      -- directly when it is the only item, otherwise via a fresh auxiliary
+      predicate that joins the conjunction.
+    * Single-step caterpillars over a binary relation are lowered directly to
+      :class:`DownRule` / :class:`UpRule` (strict templates (2) and (3)).
+    """
+    rules: list[SurfaceRule] = []
+    local_atoms: list[str] = []
+    caterpillar_items: list[ParsedItem] = []
+    for item in items:
+        if item.expr is None or isinstance(item.expr, cat.Epsilon):
+            atom = _normalize_atom(item.start)
+            if atom != "V":  # V(x) is true everywhere; dropping it is equivalent
+                local_atoms.append(atom)
+        else:
+            caterpillar_items.append(item)
+
+    # A single caterpillar item defines the head directly; otherwise every
+    # caterpillar item gets a fresh auxiliary predicate joined in one local rule.
+    direct = len(items) == 1 and len(caterpillar_items) == 1
+
+    for index, item in enumerate(caterpillar_items):
+        start = _normalize_atom(item.start)
+        expr = item.expr
+        target_head = head if direct else f"_aux[{head}/{line}/{index}]"
+        if isinstance(expr, cat.Step) and expr.is_move():
+            kind, relation = _RELATION_TO_INTERNAL[expr.name]
+            if kind == "down":
+                rules.append(DownRule(target_head, start, relation))
+            else:
+                rules.append(UpRule(target_head, start, relation))
+        else:
+            rules.append(CaterpillarRule(target_head, start, expr))
+        if not direct:
+            local_atoms.append(target_head)
+
+    if not direct:
+        rules.append(LocalRule(head, tuple(local_atoms)))
+    return rules
+
+
+def _normalize_atom(name: str) -> str:
+    """Normalise a unary atom occurring in a rule body."""
+    if name == "V":
+        return "V"
+    if _is_unary_edb_name(name):
+        return tree_model.normalize_unary(name)
+    return name
+
+
+def _is_unary_edb_name(name: str) -> bool:
+    core = tree_model.positive_form(tree_model.normalize_unary(name))
+    return core in tree_model.UNARY_BUILTINS or tree_model.is_label_predicate(core)

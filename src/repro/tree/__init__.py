@@ -1,0 +1,35 @@
+"""Tree substrate: unranked trees, binary encodings, XML I/O, EDB schema."""
+
+from repro.tree.binary import NO_NODE, BinaryTree
+from repro.tree.model import NodeSchema, label_predicate, negate, normalize_binary, normalize_unary
+from repro.tree.unranked import UnrankedNode, UnrankedTree
+from repro.tree.xml_io import (
+    END,
+    START,
+    iter_sax_events,
+    parse_xml,
+    parse_xml_file,
+    serialize_with_selection,
+    serialize_xml,
+    tree_to_sax_events,
+)
+
+__all__ = [
+    "BinaryTree",
+    "NO_NODE",
+    "NodeSchema",
+    "UnrankedNode",
+    "UnrankedTree",
+    "label_predicate",
+    "negate",
+    "normalize_binary",
+    "normalize_unary",
+    "parse_xml",
+    "parse_xml_file",
+    "serialize_xml",
+    "serialize_with_selection",
+    "iter_sax_events",
+    "tree_to_sax_events",
+    "START",
+    "END",
+]

@@ -1,0 +1,19 @@
+"""XPath frontend: parse a Core-XPath-like fragment and translate it to TMNF."""
+
+from repro.xpath.ast import AXES, AndExpr, LocationPath, OrExpr, PathCondition, Step
+from repro.xpath.parser import parse_xpath
+from repro.xpath.translate import AXIS_EXPRESSIONS, axis_expression, xpath_to_program, xpath_to_rules
+
+__all__ = [
+    "AXES",
+    "AndExpr",
+    "OrExpr",
+    "PathCondition",
+    "LocationPath",
+    "Step",
+    "parse_xpath",
+    "xpath_to_program",
+    "xpath_to_rules",
+    "axis_expression",
+    "AXIS_EXPRESSIONS",
+]

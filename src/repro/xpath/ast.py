@@ -1,0 +1,85 @@
+"""AST for the supported Core-XPath-like fragment.
+
+The fragment covers location paths over the major XPath axes with name/``*``
+node tests and predicates built from relative location paths (existence
+semantics) combined with ``and`` / ``or``.  This is the "Core XPath" family
+of queries the paper discusses in Section 1.3 (item 1); arithmetic, position
+predicates, attributes and functions are outside MSO-on-trees as modelled
+here and are rejected by the parser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = ["AXES", "Step", "LocationPath", "AndExpr", "OrExpr", "PathCondition", "Condition"]
+
+#: Supported axes (XPath names).
+AXES = (
+    "child",
+    "descendant",
+    "descendant-or-self",
+    "self",
+    "parent",
+    "ancestor",
+    "ancestor-or-self",
+    "following-sibling",
+    "preceding-sibling",
+    "following",
+    "preceding",
+)
+
+
+@dataclass(frozen=True)
+class LocationPath:
+    """A location path: optionally absolute, then a sequence of steps."""
+
+    absolute: bool
+    steps: tuple["Step", ...]
+
+    def __str__(self) -> str:
+        prefix = "/" if self.absolute else ""
+        return prefix + "/".join(str(step) for step in self.steps)
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step ``axis::test[predicate]...``."""
+
+    axis: str
+    test: str  # tag name or "*"
+    predicates: tuple["Condition", ...] = field(default_factory=tuple)
+
+    def __str__(self) -> str:
+        base = f"{self.axis}::{self.test}"
+        return base + "".join(f"[{p}]" for p in self.predicates)
+
+
+@dataclass(frozen=True)
+class AndExpr:
+    parts: tuple["Condition", ...]
+
+    def __str__(self) -> str:
+        return " and ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class OrExpr:
+    parts: tuple["Condition", ...]
+
+    def __str__(self) -> str:
+        return " or ".join(f"({p})" for p in self.parts)
+
+
+@dataclass(frozen=True)
+class PathCondition:
+    """Existence test of a relative location path."""
+
+    path: LocationPath
+
+    def __str__(self) -> str:
+        return str(self.path)
+
+
+Condition = Union[AndExpr, OrExpr, PathCondition]

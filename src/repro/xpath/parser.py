@@ -1,0 +1,196 @@
+"""Parser for the supported XPath fragment.
+
+Grammar (abbreviated and unabbreviated syntax)::
+
+    path       := '/'? relative | '//' relative
+    relative   := step (('/' | '//') step)*
+    step       := axis '::' nodetest predicates
+                | nodetest predicates          -- child axis
+                | '.' | '..'                   -- self::* / parent::*
+    nodetest   := NAME | '*'
+    predicates := ('[' or-expr ']')*
+    or-expr    := and-expr ('or' and-expr)*
+    and-expr   := primary ('and' primary)*
+    primary    := '(' or-expr ')' | path       -- existence test
+
+``//`` between steps abbreviates ``/descendant-or-self::*/``; a leading ``/``
+anchors the path at the root.  Unsupported XPath features (attributes,
+functions, positional predicates, ``not``) raise
+:class:`~repro.errors.XPathUnsupportedError` with a clear message.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import XPathSyntaxError, XPathUnsupportedError
+from repro.xpath.ast import AXES, AndExpr, Condition, LocationPath, OrExpr, PathCondition, Step
+
+__all__ = ["parse_xpath"]
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<dslash>//)|(?P<slash>/)|(?P<lbracket>\[)|(?P<rbracket>\])"
+    r"|(?P<lparen>\()|(?P<rparen>\))|(?P<axis>[a-zA-Z][\w-]*::)"
+    r"|(?P<dotdot>\.\.)|(?P<dot>\.)|(?P<star>\*)|(?P<at>@)"
+    r"|(?P<name>[A-Za-z_][\w.-]*)|(?P<other>\S))"
+)
+
+
+def _tokenize(text: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            break
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "other":
+            raise XPathSyntaxError(f"unexpected character {value!r} in XPath expression")
+        tokens.append((kind, value))
+    tokens.append(("eof", ""))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens = _tokenize(text)
+        self.position = 0
+        self.text = text
+
+    def peek(self) -> tuple[str, str]:
+        return self.tokens[self.position]
+
+    def next(self) -> tuple[str, str]:
+        token = self.tokens[self.position]
+        self.position += 1
+        return token
+
+    def expect(self, kind: str) -> tuple[str, str]:
+        token = self.next()
+        if token[0] != kind:
+            raise XPathSyntaxError(f"expected {kind}, found {token[1]!r} in {self.text!r}")
+        return token
+
+    # ------------------------------------------------------------------ #
+
+    def parse_path(self) -> LocationPath:
+        absolute = False
+        steps: list[Step] = []
+        kind, _ = self.peek()
+        double_slash = False
+        if kind == "dslash":
+            self.next()
+            absolute = True
+            double_slash = True
+        elif kind == "slash":
+            self.next()
+            absolute = True
+        self._append_step(steps, self.parse_step(), double_slash)
+        while self.peek()[0] in ("slash", "dslash"):
+            kind, _ = self.next()
+            self._append_step(steps, self.parse_step(), kind == "dslash")
+        return LocationPath(absolute=absolute, steps=tuple(steps))
+
+    @staticmethod
+    def _append_step(steps: list[Step], step: Step, double_slash: bool) -> None:
+        """Append a step, folding a preceding ``//`` into it.
+
+        ``//x`` abbreviates ``descendant-or-self::*/child::x``, which is
+        equivalent to the single step ``descendant::x`` (both from an element
+        context and from the virtual document node); folding keeps the
+        translated programs small and the document-node handling simple.  For
+        non-child axes after ``//`` the explicit marker step is kept.
+        """
+        if double_slash:
+            if step.axis == "child":
+                step = Step("descendant", step.test, step.predicates)
+            else:
+                steps.append(Step("descendant-or-self", "*"))
+        steps.append(step)
+
+    def parse_step(self) -> Step:
+        kind, value = self.peek()
+        if kind == "dot":
+            self.next()
+            axis, test = "self", "*"
+        elif kind == "dotdot":
+            self.next()
+            axis, test = "parent", "*"
+        elif kind == "at":
+            raise XPathUnsupportedError("attributes are not part of the supported fragment")
+        elif kind == "axis":
+            self.next()
+            axis = value[:-2]
+            if axis not in AXES:
+                if axis in ("attribute", "namespace"):
+                    raise XPathUnsupportedError(f"axis {axis!r} is not supported")
+                raise XPathSyntaxError(f"unknown axis {axis!r}")
+            test = self.parse_nodetest()
+        else:
+            axis = "child"
+            test = self.parse_nodetest()
+        predicates = []
+        while self.peek()[0] == "lbracket":
+            self.next()
+            predicates.append(self.parse_or_expr())
+            self.expect("rbracket")
+        return Step(axis, test, tuple(predicates))
+
+    def parse_nodetest(self) -> str:
+        kind, value = self.next()
+        if kind == "star":
+            return "*"
+        if kind == "name":
+            if self.peek()[0] == "lparen":
+                raise XPathUnsupportedError(
+                    f"function calls such as {value}() are not part of the supported fragment"
+                )
+            return value
+        raise XPathSyntaxError(f"expected a node test, found {value!r}")
+
+    # -- predicate expressions ------------------------------------------ #
+
+    def parse_or_expr(self) -> Condition:
+        parts = [self.parse_and_expr()]
+        while self.peek() == ("name", "or"):
+            self.next()
+            parts.append(self.parse_and_expr())
+        if len(parts) == 1:
+            return parts[0]
+        return OrExpr(tuple(parts))
+
+    def parse_and_expr(self) -> Condition:
+        parts = [self.parse_primary()]
+        while self.peek() == ("name", "and"):
+            self.next()
+            parts.append(self.parse_primary())
+        if len(parts) == 1:
+            return parts[0]
+        return AndExpr(tuple(parts))
+
+    def parse_primary(self) -> Condition:
+        kind, value = self.peek()
+        if kind == "lparen":
+            self.next()
+            inner = self.parse_or_expr()
+            self.expect("rparen")
+            return inner
+        if kind == "name" and value == "not":
+            raise XPathUnsupportedError(
+                "not(...) is not supported by the XPath frontend; it is expressible "
+                "in MSO/TMNF but requires a hand-written program"
+            )
+        return PathCondition(self.parse_path())
+
+
+def parse_xpath(text: str) -> LocationPath:
+    """Parse an XPath expression of the supported fragment."""
+    if not text.strip():
+        raise XPathSyntaxError("empty XPath expression")
+    parser = _Parser(text)
+    path = parser.parse_path()
+    if parser.peek()[0] != "eof":
+        raise XPathSyntaxError(f"trailing input after XPath expression: {parser.peek()[1]!r}")
+    return path

@@ -1,0 +1,239 @@
+"""Translation of the XPath fragment into TMNF (caterpillar) programs.
+
+The translation is the standard one for Core XPath over the first-child /
+next-sibling encoding (cf. [8, 10]):
+
+* every axis becomes a caterpillar expression over ``FirstChild`` /
+  ``SecondChild`` and their inverses (see :data:`AXIS_EXPRESSIONS`);
+* the *selection path* is translated top-down: one context predicate per
+  step, each derived from the previous one by a caterpillar rule plus a local
+  rule for the node test;
+* every *predicate* (filter) is translated bottom-up: the condition path is
+  walked in reverse from the nodes satisfying its innermost step, producing a
+  marker predicate for "the condition matches starting here", which the
+  filtered step requires locally.
+
+The number of generated TMNF rules is linear in the size of the XPath
+expression.
+"""
+
+from __future__ import annotations
+
+from repro.tmnf import caterpillar as cat
+from repro.tmnf.ast import CaterpillarRule, LocalRule, SurfaceRule
+from repro.tmnf.program import TMNFProgram
+from repro.tree import model as tree_model
+from repro.xpath.ast import AndExpr, Condition, LocationPath, OrExpr, PathCondition, Step
+from repro.xpath.parser import parse_xpath
+
+__all__ = ["xpath_to_program", "xpath_to_rules", "AXIS_EXPRESSIONS", "axis_expression"]
+
+
+def _step(name: str) -> cat.Step:
+    return cat.Step(name)
+
+
+_FC = tree_model.FIRST_CHILD
+_SC = tree_model.SECOND_CHILD
+_IFC = tree_model.INV_FIRST_CHILD
+_ISC = tree_model.INV_SECOND_CHILD
+
+#: Caterpillar expression for each axis (forward direction: context -> result).
+AXIS_EXPRESSIONS: dict[str, cat.CatExpr] = {
+    "self": cat.Epsilon(),
+    "child": cat.concat([_step(_FC), cat.Star(_step(_SC))]),
+    "descendant": cat.concat(
+        [_step(_FC), cat.Star(cat.alternation([_step(_FC), _step(_SC)]))]
+    ),
+    "parent": cat.concat([cat.Star(_step(_ISC)), _step(_IFC)]),
+    "ancestor": cat.concat(
+        [cat.Star(cat.alternation([_step(_IFC), _step(_ISC)])), _step(_IFC)]
+    ),
+    "following-sibling": cat.Plus(_step(_SC)),
+    "preceding-sibling": cat.Plus(_step(_ISC)),
+}
+AXIS_EXPRESSIONS["descendant-or-self"] = cat.Optional(AXIS_EXPRESSIONS["descendant"])
+AXIS_EXPRESSIONS["ancestor-or-self"] = cat.Optional(AXIS_EXPRESSIONS["ancestor"])
+AXIS_EXPRESSIONS["following"] = cat.concat(
+    [
+        AXIS_EXPRESSIONS["ancestor-or-self"],
+        AXIS_EXPRESSIONS["following-sibling"],
+        AXIS_EXPRESSIONS["descendant-or-self"],
+    ]
+)
+AXIS_EXPRESSIONS["preceding"] = cat.concat(
+    [
+        AXIS_EXPRESSIONS["ancestor-or-self"],
+        AXIS_EXPRESSIONS["preceding-sibling"],
+        AXIS_EXPRESSIONS["descendant-or-self"],
+    ]
+)
+
+
+def axis_expression(axis: str, *, reverse: bool = False) -> cat.CatExpr:
+    """The caterpillar expression of an axis (optionally reversed)."""
+    expr = AXIS_EXPRESSIONS[axis]
+    return cat.reverse_expr(expr) if reverse else expr
+
+
+class _Translator:
+    def __init__(self) -> None:
+        self.rules: list[SurfaceRule] = []
+        self.counter = 0
+
+    def fresh(self, hint: str) -> str:
+        self.counter += 1
+        return f"_xp[{hint}/{self.counter}]"
+
+    # -- helpers -------------------------------------------------------- #
+
+    def add_move(self, head: str, start: str, expr: cat.CatExpr) -> None:
+        """``head`` holds at nodes reachable from ``start`` nodes via ``expr``."""
+        if isinstance(expr, cat.Epsilon):
+            self.rules.append(LocalRule(head, (start,)))
+        else:
+            self.rules.append(CaterpillarRule(head, start, expr))
+
+    def test_atoms(self, test: str) -> tuple[str, ...]:
+        if test == "*":
+            return ()
+        return (tree_model.label_predicate(test),)
+
+    # -- selection path -------------------------------------------------- #
+
+    def translate_path(self, path: LocationPath, query_predicate: str) -> None:
+        """Translate the selection path.
+
+        There is no explicit document node in the tree model, so absolute
+        paths interpret their first step against a *virtual* document node
+        whose only child is the root element: ``/a`` tests the root element,
+        ``//a`` (i.e. ``/descendant-or-self::*/child::a``) reaches every node.
+        Relative paths take the root element as their context node.
+        """
+        steps = list(path.steps)
+        if path.absolute:
+            first = steps.pop(0)
+            if first.axis == "child":
+                base_atoms: tuple[str, ...] = (tree_model.ROOT,)
+            elif first.axis in ("descendant", "descendant-or-self"):
+                base_atoms = ()
+            else:
+                from repro.errors import XPathUnsupportedError
+
+                raise XPathUnsupportedError(
+                    f"axis {first.axis!r} cannot be applied to the document node"
+                )
+            final = query_predicate if not steps else self.fresh("step")
+            atoms = [*base_atoms, *self.test_atoms(first.test)]
+            for condition in first.predicates:
+                atoms.append(self.translate_condition(condition))
+            self.rules.append(LocalRule(final, tuple(atoms)))
+            context = final
+        else:
+            context = self.fresh("ctx")
+            self.rules.append(LocalRule(context, (tree_model.ROOT,)))
+        for index, step in enumerate(steps):
+            is_last = index == len(steps) - 1
+            context = self.translate_step(
+                step, context, query_predicate if is_last else None
+            )
+
+    def translate_step(self, step: Step, context: str, final_name: str | None) -> str:
+        reached = self.fresh(f"{step.axis}")
+        self.add_move(reached, context, AXIS_EXPRESSIONS[step.axis])
+        result = final_name if final_name is not None else self.fresh("step")
+        atoms = [reached, *self.test_atoms(step.test)]
+        for condition in step.predicates:
+            atoms.append(self.translate_condition(condition))
+        self.rules.append(LocalRule(result, tuple(atoms)))
+        return result
+
+    # -- predicates ------------------------------------------------------ #
+
+    def translate_condition(self, condition: Condition) -> str:
+        """Return a predicate true at exactly the nodes satisfying ``condition``."""
+        if isinstance(condition, AndExpr):
+            name = self.fresh("and")
+            atoms = tuple(self.translate_condition(part) for part in condition.parts)
+            self.rules.append(LocalRule(name, atoms))
+            return name
+        if isinstance(condition, OrExpr):
+            name = self.fresh("or")
+            for part in condition.parts:
+                self.rules.append(LocalRule(name, (self.translate_condition(part),)))
+            return name
+        if isinstance(condition, PathCondition):
+            return self.translate_path_condition(condition.path)
+        raise TypeError(f"unknown condition node: {condition!r}")
+
+    def translate_path_condition(self, path: LocationPath) -> str:
+        """Existence of a location path, translated in reverse.
+
+        ``R_j`` marks nodes at which the suffix ``step_j .. step_m`` of the
+        condition path can start matching (the node satisfies step_j's test
+        and from it the rest of the path can be completed).  A *relative*
+        condition holds at the nodes from which ``R_1`` can be reached through
+        ``axis_1``'s reverse; an *absolute* condition holds at every node as
+        soon as the path matches from the (virtual) document node, so the
+        anchored fact is broadcast to the whole tree.
+        """
+        steps = path.steps
+        # Innermost step: nodes satisfying its test and nested predicates.
+        current = self.fresh("cond-target")
+        last = steps[-1]
+        atoms = list(self.test_atoms(last.test))
+        for nested in last.predicates:
+            atoms.append(self.translate_condition(nested))
+        self.rules.append(LocalRule(current, tuple(atoms)))
+
+        # Walk the intermediate steps backwards: after processing index i the
+        # predicate ``current`` equals R_i.
+        for index in range(len(steps) - 1, 0, -1):
+            step = steps[index]
+            previous = self.fresh("cond")
+            self.add_move(previous, current, axis_expression(step.axis, reverse=True))
+            outer = steps[index - 1]
+            gated = self.fresh("cond-test")
+            gate_atoms = [previous, *self.test_atoms(outer.test)]
+            for nested in outer.predicates:
+                gate_atoms.append(self.translate_condition(nested))
+            self.rules.append(LocalRule(gated, tuple(gate_atoms)))
+            current = gated
+
+        first = steps[0]
+        if not path.absolute:
+            result = self.fresh("cond")
+            self.add_move(result, current, axis_expression(first.axis, reverse=True))
+            return result
+        # Absolute condition: interpret the first axis against the document node.
+        if first.axis == "child":
+            anchored = self.fresh("cond-root")
+            self.rules.append(LocalRule(anchored, (current, tree_model.ROOT)))
+        elif first.axis in ("descendant", "descendant-or-self"):
+            anchored = current
+        else:
+            from repro.errors import XPathUnsupportedError
+
+            raise XPathUnsupportedError(
+                f"axis {first.axis!r} cannot be applied to the document node"
+            )
+        broadcast = self.fresh("cond-anywhere")
+        everywhere = cat.Star(
+            cat.alternation([_step(_FC), _step(_SC), _step(_IFC), _step(_ISC)])
+        )
+        self.rules.append(CaterpillarRule(broadcast, anchored, everywhere))
+        return broadcast
+
+
+def xpath_to_rules(expression: str | LocationPath, query_predicate: str = "QUERY") -> list[SurfaceRule]:
+    """Translate an XPath expression into TMNF surface rules."""
+    path = parse_xpath(expression) if isinstance(expression, str) else expression
+    translator = _Translator()
+    translator.translate_path(path, query_predicate)
+    return translator.rules
+
+
+def xpath_to_program(expression: str | LocationPath, query_predicate: str = "QUERY") -> TMNFProgram:
+    """Translate an XPath expression into a ready-to-run TMNF program."""
+    rules = xpath_to_rules(expression, query_predicate)
+    return TMNFProgram.from_surface(rules, query_predicates=query_predicate)

@@ -1,0 +1,86 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.tmnf.program import TMNFProgram
+from repro.tree import BinaryTree, UnrankedNode, UnrankedTree, parse_xml
+
+
+# --------------------------------------------------------------------------- #
+# Example programs from the paper
+# --------------------------------------------------------------------------- #
+
+RUNNING_EXAMPLE = """
+P1 :- Root;
+P2 :- P1.FirstChild;
+P3 :- P2.FirstChild;
+P4 :- P3, Leaf;
+P5 :- P4.invFirstChild;
+Q :- P5.invFirstChild;
+"""
+
+EVEN_ODD_EXAMPLE = """
+Even :- Leaf, -Label[a];
+Odd :- Leaf, Label[a];
+SFREven :- Even, LastSibling;
+SFROdd :- Odd, LastSibling;
+FSEven :- SFREven.invNextSibling;
+FSOdd :- SFROdd.invNextSibling;
+SFREven :- FSEven, Even;
+SFROdd :- FSEven, Odd;
+SFROdd :- FSOdd, Even;
+SFREven :- FSOdd, Odd;
+Even :- SFREven.invFirstChild;
+Odd :- SFROdd.invFirstChild;
+"""
+
+
+@pytest.fixture
+def running_example_program() -> TMNFProgram:
+    return TMNFProgram.parse(RUNNING_EXAMPLE, query_predicates="Q")
+
+
+@pytest.fixture
+def even_odd_program() -> TMNFProgram:
+    return TMNFProgram.parse(EVEN_ODD_EXAMPLE, query_predicates="Even")
+
+
+@pytest.fixture
+def chain_tree() -> BinaryTree:
+    """The three-node <a><a><a/></a></a> tree of Example 4.5."""
+    return BinaryTree.from_unranked(parse_xml("<a><a><a/></a></a>"))
+
+
+# --------------------------------------------------------------------------- #
+# Random tree generation (plain `random`, used outside hypothesis tests)
+# --------------------------------------------------------------------------- #
+
+
+def random_unranked_tree(
+    rng: random.Random,
+    max_nodes: int = 20,
+    labels: tuple[str, ...] = ("a", "b", "c"),
+    max_children: int = 3,
+) -> UnrankedTree:
+    """A small random unranked tree with labels drawn from ``labels``."""
+    budget = rng.randint(1, max_nodes)
+    root = UnrankedNode(rng.choice(labels))
+    nodes = [root]
+    count = 1
+    while count < budget:
+        parent = rng.choice(nodes)
+        if len(parent.children) >= max_children:
+            continue
+        child = UnrankedNode(rng.choice(labels))
+        parent.children.append(child)
+        nodes.append(child)
+        count += 1
+    return UnrankedTree(root)
+
+
+def random_binary_tree(rng: random.Random, max_nodes: int = 20) -> BinaryTree:
+    return BinaryTree.from_unranked(random_unranked_tree(rng, max_nodes))

@@ -1,0 +1,169 @@
+"""Tests for caterpillar expressions and their NFA construction."""
+
+from __future__ import annotations
+
+from repro.tmnf.caterpillar import (
+    Alt,
+    Concat,
+    Epsilon,
+    Optional,
+    Plus,
+    Star,
+    Step,
+    StepNFA,
+    alternation,
+    concat,
+    expr_size,
+    reverse_expr,
+    step,
+)
+
+
+def _language_samples(nfa: StepNFA, max_length: int = 3) -> set[tuple[str, ...]]:
+    """All words of length <= max_length accepted by the NFA (for small alphabets)."""
+    alphabet = sorted({symbol.name for _s, symbol, _t in nfa.all_edges()})
+    accepted: set[tuple[str, ...]] = set()
+
+    def explore(state: int, word: tuple[str, ...]) -> None:
+        if state in nfa.accepting:
+            accepted.add(word)
+        if len(word) == max_length:
+            return
+        for symbol, target in nfa.transitions.get(state, ()):
+            explore(target, word + (symbol.name,))
+
+    explore(nfa.initial, ())
+    del alphabet
+    return accepted
+
+
+class TestStepConstruction:
+    def test_step_normalises_binary_aliases(self):
+        assert step("NextSibling").name == "SecondChild"
+        assert step("invNextSibling").name == "invSecondChild"
+
+    def test_step_normalises_unary_aliases(self):
+        assert step("Leaf").name == "-HasFirstChild"
+        assert step("LastSibling").name == "-HasSecondChild"
+
+    def test_move_vs_test(self):
+        assert step("FirstChild").is_move()
+        assert step("invSecondChild").is_move()
+        assert step("Label[a]").is_test()
+        assert step("Root").is_test()
+        assert step("V").is_test()
+
+
+class TestSmartConstructors:
+    def test_concat_flattens_and_drops_epsilon(self):
+        expr = concat([Epsilon(), step("FirstChild"), concat([step("Label[a]")])])
+        assert isinstance(expr, Concat)
+        assert [p.name for p in expr.parts] == ["FirstChild", "Label[a]"]
+
+    def test_concat_of_one_is_identity(self):
+        single = step("FirstChild")
+        assert concat([single]) is single
+
+    def test_concat_of_nothing_is_epsilon(self):
+        assert isinstance(concat([]), Epsilon)
+
+    def test_alternation_flattens(self):
+        expr = alternation([step("FirstChild"), alternation([step("SecondChild"), step("Root")])])
+        assert isinstance(expr, Alt)
+        assert len(expr.parts) == 3
+
+    def test_expr_size(self):
+        expr = concat([step("FirstChild"), Star(concat([step("Label[a]"), step("SecondChild")]))])
+        assert expr_size(expr) == 3
+        assert expr_size(Epsilon()) == 0
+
+
+class TestReverse:
+    def test_reverse_inverts_moves_and_order(self):
+        expr = concat([step("FirstChild"), step("Label[a]"), step("SecondChild")])
+        reversed_expr = reverse_expr(expr)
+        assert [p.name for p in reversed_expr.parts] == [
+            "invSecondChild",
+            "Label[a]",
+            "invFirstChild",
+        ]
+
+    def test_reverse_is_involutive(self):
+        expr = Alt(
+            (
+                concat([step("FirstChild"), Star(step("SecondChild"))]),
+                Plus(step("invFirstChild")),
+            )
+        )
+        assert reverse_expr(reverse_expr(expr)) == expr
+
+
+class TestNFA:
+    def test_single_step(self):
+        nfa = StepNFA.from_expr(step("FirstChild"))
+        words = _language_samples(nfa, 2)
+        assert ("FirstChild",) in words
+        assert () not in words
+
+    def test_concatenation(self):
+        nfa = StepNFA.from_expr(concat([step("FirstChild"), step("Label[a]")]))
+        words = _language_samples(nfa, 3)
+        assert ("FirstChild", "Label[a]") in words
+        assert ("FirstChild",) not in words
+
+    def test_star_accepts_empty_and_repetitions(self):
+        nfa = StepNFA.from_expr(Star(step("SecondChild")))
+        words = _language_samples(nfa, 3)
+        assert () in words
+        assert ("SecondChild",) in words
+        assert ("SecondChild", "SecondChild", "SecondChild") in words
+
+    def test_plus_requires_at_least_one(self):
+        nfa = StepNFA.from_expr(Plus(step("SecondChild")))
+        words = _language_samples(nfa, 2)
+        assert () not in words
+        assert ("SecondChild",) in words and ("SecondChild", "SecondChild") in words
+
+    def test_optional(self):
+        nfa = StepNFA.from_expr(Optional(step("FirstChild")))
+        words = _language_samples(nfa, 2)
+        assert () in words and ("FirstChild",) in words
+        assert ("FirstChild", "FirstChild") not in words
+
+    def test_alternation(self):
+        nfa = StepNFA.from_expr(alternation([step("FirstChild"), step("SecondChild")]))
+        words = _language_samples(nfa, 1)
+        assert ("FirstChild",) in words and ("SecondChild",) in words
+        assert () not in words
+
+    def test_w1_w2star_w3_language(self):
+        """The regular-expression shape used throughout Section 6.2."""
+        expr = concat(
+            [
+                step("Label[S]"),
+                Star(concat([step("Label[NP]"), step("Label[PP]")])),
+                step("Label[NP]"),
+            ]
+        )
+        nfa = StepNFA.from_expr(expr)
+        words = _language_samples(nfa, 5)
+        assert ("Label[S]", "Label[NP]") in words
+        assert ("Label[S]", "Label[NP]", "Label[PP]", "Label[NP]") in words
+        assert ("Label[S]",) not in words
+
+    def test_epsilon_expression(self):
+        nfa = StepNFA.from_expr(Epsilon())
+        assert nfa.initial in nfa.accepting
+
+    def test_no_unreachable_states(self):
+        expr = Alt((step("FirstChild"), concat([step("SecondChild"), step("Label[a]")])))
+        nfa = StepNFA.from_expr(expr)
+        reachable = {nfa.initial}
+        frontier = [nfa.initial]
+        while frontier:
+            state = frontier.pop()
+            for _symbol, target in nfa.transitions.get(state, ()):
+                if target not in reachable:
+                    reachable.add(target)
+                    frontier.append(target)
+        assert reachable == set(range(nfa.n_states))

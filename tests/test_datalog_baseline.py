@@ -1,0 +1,67 @@
+"""Tests for the reference fixpoint (semi-naive datalog) evaluator."""
+
+from __future__ import annotations
+
+from repro.baselines.datalog import FixpointEvaluator, evaluate_fixpoint
+from repro.tmnf import TMNFProgram
+from repro.tree import BinaryTree, parse_xml
+from tests.conftest import RUNNING_EXAMPLE
+
+
+class TestFixpointEvaluator:
+    def test_running_example(self):
+        program = TMNFProgram.parse(RUNNING_EXAMPLE, query_predicates="Q")
+        tree = BinaryTree.from_unranked(parse_xml("<a><a><a/></a></a>"))
+        result = evaluate_fixpoint(program, tree)
+        assert result.true_predicates[0] == {"P1", "Q"}
+        assert result.true_predicates[1] == {"P2", "P5"}
+        assert result.true_predicates[2] == {"P3", "P4"}
+        assert result.selected["Q"] == [0]
+        assert result.selected_nodes() == [0]
+
+    def test_no_derivations_for_unsatisfiable_program(self):
+        program = TMNFProgram.parse("P :- Label[zzz];", query_predicates="P")
+        tree = BinaryTree.from_unranked(parse_xml("<a><b/></a>"))
+        result = evaluate_fixpoint(program, tree)
+        assert result.selected["P"] == []
+        assert all(not preds for preds in result.true_predicates)
+
+    def test_down_rule_derives_into_children_only(self):
+        program = TMNFProgram.parse("R :- Root; C :- R.FirstChild;", query_predicates="C")
+        tree = BinaryTree.from_unranked(parse_xml("<a><b/><c/></a>"))
+        result = evaluate_fixpoint(program, tree)
+        # Only the first (binary) child of the root gets C; its sibling does not.
+        assert result.selected["C"] == [1]
+
+    def test_up_rule_requires_matching_child_position(self):
+        program = TMNFProgram.parse(
+            "M :- Label[x]; P :- M.invSecondChild;", query_predicates="P"
+        )
+        tree = BinaryTree.from_unranked(parse_xml("<a><x/><x/></a>"))
+        result = evaluate_fixpoint(program, tree)
+        # Node 2 (<x/> second sibling) is the SecondChild of node 1, so P holds at 1 only.
+        assert result.selected["P"] == [1]
+
+    def test_derivation_counter_is_monotone(self):
+        program = TMNFProgram.parse(RUNNING_EXAMPLE, query_predicates="Q")
+        small = BinaryTree.from_unranked(parse_xml("<a><a/></a>"))
+        large = BinaryTree.from_unranked(parse_xml("<a><a><a><a/></a></a></a>"))
+        evaluator = FixpointEvaluator(program)
+        assert evaluator.evaluate(small).derivations <= evaluator.evaluate(large).derivations
+
+    def test_multiple_query_predicates(self):
+        program = TMNFProgram.parse(
+            "A :- Label[a]; B :- Label[b];", query_predicates=("A", "B")
+        )
+        tree = BinaryTree.from_unranked(parse_xml("<a><b/><a/></a>"))
+        result = evaluate_fixpoint(program, tree)
+        assert result.selected["A"] == [0, 2]
+        assert result.selected["B"] == [1]
+
+    def test_evaluator_is_reusable_across_trees(self):
+        program = TMNFProgram.parse("A :- Label[a];", query_predicates="A")
+        evaluator = FixpointEvaluator(program)
+        t1 = BinaryTree.from_unranked(parse_xml("<a/>"))
+        t2 = BinaryTree.from_unranked(parse_xml("<b><a/></b>"))
+        assert evaluator.evaluate(t1).selected["A"] == [0]
+        assert evaluator.evaluate(t2).selected["A"] == [1]

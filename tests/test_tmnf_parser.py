@@ -1,0 +1,144 @@
+"""Tests for the TMNF surface-syntax parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TMNFSyntaxError
+from repro.tmnf import parse_rules
+from repro.tmnf.ast import CaterpillarRule, DownRule, LocalRule, UpRule
+from repro.tmnf.caterpillar import Alt, Concat, Star, Step
+
+
+class TestStrictTemplates:
+    def test_template_1_unary_edb(self):
+        rules = parse_rules("P :- Root;")
+        assert rules == [LocalRule("P", ("Root",))]
+
+    def test_template_1_with_alias(self):
+        rules = parse_rules("P :- Leaf;")
+        assert rules == [LocalRule("P", ("-HasFirstChild",))]
+
+    def test_template_2_down(self):
+        rules = parse_rules("P :- P0.FirstChild;")
+        assert rules == [DownRule("P", "P0", "FirstChild")]
+
+    def test_template_2_next_sibling_alias(self):
+        rules = parse_rules("P :- P0.NextSibling;")
+        assert rules == [DownRule("P", "P0", "SecondChild")]
+
+    def test_template_3_up(self):
+        rules = parse_rules("P :- P0.invFirstChild;")
+        assert rules == [UpRule("P", "P0", "FirstChild")]
+
+    def test_template_3_inv_next_sibling(self):
+        rules = parse_rules("P :- P0.invNextSibling;")
+        assert rules == [UpRule("P", "P0", "SecondChild")]
+
+    def test_template_4_conjunction(self):
+        rules = parse_rules("P :- P1, P2;")
+        assert rules == [LocalRule("P", ("P1", "P2"))]
+
+    def test_conjunction_with_edb(self):
+        rules = parse_rules("Even :- Leaf, -Label[a];")
+        assert rules == [LocalRule("Even", ("-HasFirstChild", "-Label[a]"))]
+
+    def test_universe_body(self):
+        rules = parse_rules("P :- V;")
+        assert rules == [LocalRule("P", ())]
+
+    def test_multiple_rules(self):
+        rules = parse_rules("A :- Root; B :- A.FirstChild;")
+        assert len(rules) == 2
+
+
+class TestCaterpillarSyntax:
+    def test_simple_path(self):
+        rules = parse_rules("Q :- P.FirstChild.NextSibling*.Label[a];")
+        assert len(rules) == 1
+        rule = rules[0]
+        assert isinstance(rule, CaterpillarRule)
+        assert rule.head == "Q" and rule.start == "P"
+        assert isinstance(rule.expr, Concat)
+
+    def test_benchmark_query_shape(self):
+        text = """
+        QUERY :- V.Label[S].FirstChild.NextSibling*.Label[VP].
+                 (FirstChild.NextSibling*.Label[NP].FirstChild.NextSibling*.Label[PP])*.
+                 FirstChild.NextSibling*.Label[NP];
+        """
+        rules = parse_rules(text)
+        assert len(rules) == 1
+        rule = rules[0]
+        assert isinstance(rule, CaterpillarRule)
+        assert rule.start == "V"
+
+    def test_alternation_and_inverse_axes(self):
+        text = """
+        Prev :- Cur.(FirstChild.SecondChild*.-hasSecondChild
+                    | -hasFirstChild.invFirstChild*.invSecondChild);
+        """
+        rules = parse_rules(text)
+        rule = rules[0]
+        assert isinstance(rule, CaterpillarRule)
+        assert isinstance(rule.expr, (Alt,))
+
+    def test_case_insensitive_relation_names(self):
+        rules = parse_rules("P :- P0.firstchild;")
+        assert rules == [DownRule("P", "P0", "FirstChild")]
+
+    def test_mixed_conjunction_with_path(self):
+        rules = parse_rules("Q :- P.FirstChild.Label[a], R;")
+        # One caterpillar via an auxiliary predicate plus one local join rule.
+        heads = [rule.head for rule in rules]
+        assert "Q" in heads
+        cat_rules = [rule for rule in rules if isinstance(rule, CaterpillarRule)]
+        assert len(cat_rules) == 1
+        local = [rule for rule in rules if isinstance(rule, LocalRule) and rule.head == "Q"]
+        assert len(local) == 1
+        assert "R" in local[0].body
+
+    def test_star_on_group(self):
+        rules = parse_rules("Q :- P.(FirstChild | SecondChild)*;")
+        rule = rules[0]
+        assert isinstance(rule, CaterpillarRule)
+        assert isinstance(rule.expr, Star)
+
+    def test_plus_and_optional(self):
+        rules = parse_rules("Q :- P.FirstChild+.Label[a]?;")
+        assert isinstance(rules[0], CaterpillarRule)
+
+
+class TestErrorsAndComments:
+    def test_comments_are_ignored(self):
+        rules = parse_rules("# leading comment\nP :- Root; // trailing\n")
+        assert rules == [LocalRule("P", ("Root",))]
+
+    def test_missing_semicolon(self):
+        with pytest.raises(TMNFSyntaxError):
+            parse_rules("P :- Root")
+
+    def test_edb_head_rejected(self):
+        with pytest.raises(TMNFSyntaxError):
+            parse_rules("Root :- P;")
+
+    def test_label_head_rejected(self):
+        with pytest.raises(TMNFSyntaxError):
+            parse_rules("Label[a] :- P;")
+
+    def test_item_starting_with_relation_rejected(self):
+        with pytest.raises(TMNFSyntaxError):
+            parse_rules("P :- FirstChild.Q;")
+
+    def test_unterminated_bracket(self):
+        with pytest.raises(TMNFSyntaxError):
+            parse_rules("P :- Label[a;")
+
+    def test_unexpected_character(self):
+        with pytest.raises(TMNFSyntaxError):
+            parse_rules("P :- Q @ R;")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(TMNFSyntaxError) as excinfo:
+            parse_rules("A :- Root;\nB :- ;\n")
+        assert excinfo.value.line == 2

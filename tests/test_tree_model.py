@@ -1,0 +1,126 @@
+"""Tests for the relational (EDB) view of binary trees."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tree import BinaryTree, parse_xml
+from repro.tree import model as m
+
+
+class TestNames:
+    def test_label_predicate_round_trip(self):
+        assert m.label_predicate("gene") == "Label[gene]"
+        assert m.label_of_predicate("Label[gene]") == "gene"
+        assert m.label_of_predicate("-Label[gene]") == "gene"
+        assert m.is_label_predicate("Label[a]")
+        assert not m.is_label_predicate("Root")
+
+    def test_label_of_predicate_rejects_non_labels(self):
+        with pytest.raises(ValueError):
+            m.label_of_predicate("Root")
+
+    def test_negate(self):
+        assert m.negate("Root") == "-Root"
+        assert m.negate("-Root") == "Root"
+
+    def test_normalize_unary_aliases(self):
+        assert m.normalize_unary("Leaf") == "-HasFirstChild"
+        assert m.normalize_unary("LastSibling") == "-HasSecondChild"
+        assert m.normalize_unary("-Leaf") == "HasFirstChild"
+        assert m.normalize_unary("Root") == "Root"
+        assert m.normalize_unary("Label[x]") == "Label[x]"
+
+    def test_normalize_binary_aliases(self):
+        assert m.normalize_binary("NextSibling") == "SecondChild"
+        assert m.normalize_binary("invNextSibling") == "invSecondChild"
+        assert m.normalize_binary("FirstChild") == "FirstChild"
+
+    def test_invert_binary(self):
+        assert m.invert_binary("FirstChild") == "invFirstChild"
+        assert m.invert_binary("invSecondChild") == "SecondChild"
+        assert m.invert_binary("NextSibling") == "invSecondChild"
+        with pytest.raises(ValueError):
+            m.invert_binary("Sibling")
+
+
+class TestUnaryHolds:
+    @pytest.fixture
+    def tree(self) -> BinaryTree:
+        return BinaryTree.from_unranked(parse_xml("<r><a><b/></a><a/></r>"))
+
+    def test_root(self, tree):
+        assert m.unary_holds(tree, 0, "Root")
+        assert not m.unary_holds(tree, 1, "Root")
+        assert m.unary_holds(tree, 1, "-Root")
+
+    def test_labels(self, tree):
+        assert m.unary_holds(tree, 0, "Label[r]")
+        assert m.unary_holds(tree, 1, "Label[a]")
+        assert not m.unary_holds(tree, 1, "Label[b]")
+        assert m.unary_holds(tree, 1, "-Label[b]")
+
+    def test_child_flags(self, tree):
+        # node 1 is <a> with a child <b> and a following sibling <a>.
+        assert m.unary_holds(tree, 1, "HasFirstChild")
+        assert m.unary_holds(tree, 1, "HasSecondChild")
+        # node 2 is <b>: a leaf, last sibling.
+        assert m.unary_holds(tree, 2, "-HasFirstChild")
+        assert m.unary_holds(tree, 2, "-HasSecondChild")
+
+    def test_universe(self, tree):
+        assert all(m.unary_holds(tree, v, "V") for v in range(len(tree)))
+
+    def test_unknown_predicate(self, tree):
+        with pytest.raises(ValueError):
+            m.unary_holds(tree, 0, "Frobnicate")
+
+
+class TestNodeSchema:
+    def test_from_predicates(self):
+        schema = m.NodeSchema.from_predicates(
+            ["Root", "-HasFirstChild", "Label[a]", "-Label[b]"]
+        )
+        assert schema.positive_labels == frozenset({"a"})
+        assert schema.negative_labels == frozenset({"b"})
+        assert schema.builtins == frozenset({"Root", "HasFirstChild"})
+
+    def test_from_predicates_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            m.NodeSchema.from_predicates(["NotAThing"])
+
+    def test_node_label_set_restricted_to_schema(self):
+        tree = BinaryTree.from_unranked(parse_xml("<r><a/><b/></r>"))
+        schema = m.NodeSchema.from_predicates(["Root", "Label[a]", "-Label[b]"])
+        root_set = schema.node_label_set(tree, 0)
+        assert root_set == frozenset({"Root", "-Label[b]"})
+        a_set = schema.node_label_set(tree, 1)
+        assert a_set == frozenset({"-Root", "Label[a]", "-Label[b]"})
+        b_set = schema.node_label_set(tree, 2)
+        assert b_set == frozenset({"-Root"})
+
+    def test_label_set_for_matches_node_label_set(self):
+        tree = BinaryTree.from_unranked(parse_xml("<r><a><c/></a><b/></r>"))
+        schema = m.NodeSchema.from_predicates(
+            ["Root", "HasFirstChild", "-HasSecondChild", "Label[a]", "Label[c]"]
+        )
+        for node in range(len(tree)):
+            expected = schema.node_label_set(tree, node)
+            got = schema.label_set_for(
+                tree.labels[node],
+                is_root=node == tree.root,
+                has_first_child=tree.first_child[node] != -1,
+                has_second_child=tree.second_child[node] != -1,
+            )
+            assert got == expected
+
+    def test_all_predicates_covers_both_polarities(self):
+        schema = m.NodeSchema.from_predicates(["Root", "-Label[b]", "Label[a]"])
+        preds = schema.all_predicates()
+        assert {"Root", "-Root", "Label[b]", "-Label[b]", "Label[a]"} <= preds
+
+    def test_empty_schema_produces_empty_label_sets(self):
+        tree = BinaryTree.from_unranked(parse_xml("<r><a/></r>"))
+        schema = m.NodeSchema.from_predicates([])
+        assert schema.node_label_set(tree, 0) == frozenset()
+        assert schema.node_label_set(tree, 1) == frozenset()

@@ -1,0 +1,197 @@
+"""Tests for the two-phase tree-automata evaluator (Algorithm 4.6)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.datalog import evaluate_fixpoint
+from repro.core.horn import Rule, fact
+from repro.core.two_phase import BOTTOM, TwoPhaseEvaluator
+from repro.tmnf import TMNFProgram
+from repro.tree import BinaryTree, parse_xml
+from tests.conftest import EVEN_ODD_EXAMPLE, RUNNING_EXAMPLE, random_unranked_tree
+
+
+class TestPaperWorkedExample:
+    """Examples 4.3, 4.5 and 4.7 of the paper, verified verbatim."""
+
+    def setup_method(self):
+        self.program = TMNFProgram.parse(RUNNING_EXAMPLE, query_predicates="Q")
+        self.tree = BinaryTree.from_unranked(parse_xml("<a><a><a/></a></a>"))
+        self.evaluator = TwoPhaseEvaluator(self.program)
+
+    def test_bottom_up_residual_programs(self):
+        states = self.evaluator.run_bottom_up(self.tree)
+        rho = [self.evaluator.state_program(s) for s in states]
+        assert rho[2] == frozenset({Rule("P4", ["P3"])})
+        assert rho[1] == frozenset({Rule("P5", ["P2"])})
+        assert rho[0] == frozenset({fact("P1"), fact("Q")})
+
+    def test_top_down_true_predicates(self):
+        result = self.evaluator.evaluate(self.tree, keep_true_predicates=True)
+        assert result.true_predicates[0] == frozenset({"P1", "Q"})
+        assert result.true_predicates[1] == frozenset({"P2", "P5"})
+        assert result.true_predicates[2] == frozenset({"P3", "P4"})
+
+    def test_only_root_selected(self):
+        result = self.evaluator.evaluate(self.tree)
+        assert result.selected == {"Q": [0]}
+        assert result.selected_nodes() == [0]
+
+    def test_residual_programs_contain_no_edb_predicates(self):
+        states = self.evaluator.run_bottom_up(self.tree)
+        edb = self.program.prop_local().edb_predicates
+        for state in states:
+            for rule in self.evaluator.state_program(state):
+                assert rule.head not in edb
+                assert not (set(rule.body) & edb)
+
+
+class TestEvenOddExample:
+    """Example 2.2: counting 'a'-labelled leaves modulo 2."""
+
+    def count_a_leaves_in_unranked_subtree(self, tree: BinaryTree, node: int) -> int:
+        """Count 'a'-labelled leaves in the *unranked* subtree of ``node``.
+
+        In the first-child/next-sibling encoding, the unranked subtree of a
+        node is the node itself plus the binary subtree of its first child.
+        """
+        count = 1 if tree.labels[node] == "a" and tree.is_leaf(node) else 0
+        first = tree.first_child[node]
+        if first != -1:
+            count += sum(
+                1
+                for v in tree.subtree_nodes(first)
+                if tree.labels[v] == "a" and tree.is_leaf(v)
+            )
+        return count
+
+    def test_even_matches_direct_count(self):
+        program = TMNFProgram.parse(EVEN_ODD_EXAMPLE, query_predicates=("Even", "Odd"))
+        document = "<r><x><a/><a/><b/></x><a/><y><a/><c/></y><a/></r>"
+        tree = BinaryTree.from_unranked(parse_xml(document))
+        result = TwoPhaseEvaluator(program).evaluate(tree)
+        even = set(result.selected["Even"])
+        odd = set(result.selected["Odd"])
+        for node in range(len(tree)):
+            expected_even = self.count_a_leaves_in_unranked_subtree(tree, node) % 2 == 0
+            assert (node in even) == expected_even
+            assert (node in odd) == (not expected_even)
+        # Every node gets exactly one of the two marks.
+        assert even | odd == set(range(len(tree)))
+        assert not (even & odd)
+
+
+class TestEngineMechanics:
+    def test_bottom_pseudo_state_constant(self):
+        assert BOTTOM == -1
+
+    def test_transition_tables_are_shared_across_evaluations(self):
+        program = TMNFProgram.parse(RUNNING_EXAMPLE, query_predicates="Q")
+        evaluator = TwoPhaseEvaluator(program)
+        tree = BinaryTree.from_unranked(parse_xml("<a><a><a/></a></a>"))
+        evaluator.evaluate(tree)
+        first = evaluator.stats.bu_transitions
+        evaluator.evaluate(tree)
+        # Second run over the same tree hits the cache for every node.
+        assert evaluator.stats.bu_transitions == first
+
+    def test_memoization_reduces_transition_computations(self):
+        program = TMNFProgram.parse(EVEN_ODD_EXAMPLE, query_predicates="Even")
+        document = "<r>" + "<a></a><b></b>" * 50 + "</r>"
+        tree = BinaryTree.from_unranked(parse_xml(document))
+        lazy = TwoPhaseEvaluator(program, memoize=True)
+        lazy.evaluate(tree)
+        eager = TwoPhaseEvaluator(program, memoize=False)
+        eager.evaluate(tree)
+        assert lazy.stats.bu_transitions < eager.stats.bu_transitions
+        assert eager.stats.bu_transitions == len(tree)
+
+    def test_statistics_row_has_expected_keys(self):
+        program = TMNFProgram.parse(RUNNING_EXAMPLE, query_predicates="Q")
+        evaluator = TwoPhaseEvaluator(program)
+        tree = BinaryTree.from_unranked(parse_xml("<a><a><a/></a></a>"))
+        result = evaluator.evaluate(tree)
+        row = result.statistics.as_row()
+        for key in ("bu_seconds", "td_seconds", "bu_transitions", "td_transitions",
+                    "total_seconds", "selected", "memory_kb"):
+            assert key in row
+        assert result.statistics.nodes == len(tree)
+
+    def test_single_node_tree(self):
+        program = TMNFProgram.parse("P :- Root; Q :- P, Leaf;", query_predicates="Q")
+        tree = BinaryTree.from_unranked(parse_xml("<only/>"))
+        result = TwoPhaseEvaluator(program).evaluate(tree)
+        assert result.selected["Q"] == [0]
+
+    def test_query_over_character_nodes(self):
+        """Text is part of the tree: select 'gene' elements containing an 'x' char."""
+        program = TMNFProgram.parse(
+            """
+            HasX :- Label[x];
+            HasX :- HasX.invNextSibling;
+            HasXChild :- HasX.invFirstChild;
+            QUERY :- HasXChild, Label[gene];
+            """
+        )
+        document = "<db><gene>axb</gene><gene>bbb</gene><gene>x</gene></db>"
+        tree = BinaryTree.from_unranked(parse_xml(document))
+        result = TwoPhaseEvaluator(program).evaluate(tree)
+        selected_labels = [tree.labels[v] for v in result.selected["QUERY"]]
+        assert selected_labels == ["gene", "gene"]
+        # The middle gene (only 'b's) must not be selected.
+        gene_nodes = [v for v in range(len(tree)) if tree.labels[v] == "gene"]
+        assert gene_nodes[1] not in result.selected["QUERY"]
+
+
+class TestAgainstFixpointOnRandomInputs:
+    """Deterministic (seeded) randomised comparison against the fixpoint oracle.
+
+    The hypothesis-based equivalence test lives in
+    ``test_property_equivalence.py``; this one exercises larger trees than
+    hypothesis comfortably generates.
+    """
+
+    PROGRAMS = {
+        "running": (RUNNING_EXAMPLE, "Q"),
+        "even-odd": (EVEN_ODD_EXAMPLE, "Even"),
+        "descendant-of-b": (
+            """
+            Start :- Label[b];
+            QUERY :- Start.FirstChild.(FirstChild | SecondChild)*;
+            """,
+            "QUERY",
+        ),
+        "has-a-descendant": (
+            """
+            Mark :- Label[a];
+            Up :- Mark.(invFirstChild | invSecondChild)+;
+            QUERY :- Up, Label[b];
+            """,
+            "QUERY",
+        ),
+    }
+
+    def test_selected_nodes_match_fixpoint(self):
+        rng = random.Random(20030901)
+        for name, (text, query) in self.PROGRAMS.items():
+            program = TMNFProgram.parse(text, query_predicates=query)
+            for trial in range(15):
+                tree = BinaryTree.from_unranked(
+                    random_unranked_tree(rng, max_nodes=60, labels=("a", "b", "c"))
+                )
+                auto = TwoPhaseEvaluator(program).evaluate(tree)
+                fix = evaluate_fixpoint(program, tree)
+                assert auto.selected[query] == fix.selected[query], (
+                    f"mismatch for program {name!r} on trial {trial}"
+                )
+
+    def test_all_true_predicates_match_fixpoint(self):
+        rng = random.Random(42)
+        program = TMNFProgram.parse(EVEN_ODD_EXAMPLE, query_predicates="Even")
+        for _ in range(10):
+            tree = BinaryTree.from_unranked(random_unranked_tree(rng, max_nodes=40))
+            auto = TwoPhaseEvaluator(program).evaluate(tree, keep_true_predicates=True)
+            fix = evaluate_fixpoint(program, tree)
+            for node in range(len(tree)):
+                assert auto.true_predicates[node] == frozenset(fix.true_predicates[node])

@@ -1,0 +1,136 @@
+"""Tests for XML parsing, SAX event streams and serialisation."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.tree import (
+    BinaryTree,
+    parse_xml,
+    parse_xml_file,
+    serialize_with_selection,
+    serialize_xml,
+    tree_to_sax_events,
+)
+from repro.tree.xml_io import END, START, iter_sax_events
+
+
+class TestParsing:
+    def test_element_structure(self):
+        tree = parse_xml("<a><b/><c><d/></c></a>", text_mode="ignore")
+        assert tree.to_nested() == ("a", ["b", ("c", ["d"])])
+
+    def test_text_as_character_nodes(self):
+        tree = parse_xml("<a>xy</a>")
+        assert [n.label for n in tree.iter_nodes()] == ["a", "x", "y"]
+
+    def test_text_as_single_node(self):
+        tree = parse_xml("<a>hello</a>", text_mode="node")
+        assert tree.to_nested() == ("a", ["hello"])
+
+    def test_text_ignored(self):
+        tree = parse_xml("<a>hello<b/>world</a>", text_mode="ignore")
+        assert tree.to_nested() == ("a", ["b"])
+
+    def test_mixed_content_order_preserved(self):
+        tree = parse_xml("<a>x<b/>y</a>")
+        assert [n.label for n in tree.iter_nodes()] == ["a", "x", "b", "y"]
+
+    def test_attributes_are_ignored(self):
+        tree = parse_xml('<a id="1"><b key="v"/></a>', text_mode="ignore")
+        assert tree.to_nested() == ("a", ["b"])
+
+    def test_malformed_xml_raises(self):
+        with pytest.raises(XMLParseError):
+            parse_xml("<a><b></a>")
+
+    def test_invalid_text_mode(self):
+        with pytest.raises(ValueError):
+            parse_xml("<a/>", text_mode="weird")
+
+    def test_parse_file_object(self):
+        handle = io.BytesIO(b"<a><b/></a>")
+        tree = parse_xml_file(handle, text_mode="ignore")
+        assert tree.to_nested() == ("a", ["b"])
+
+    def test_parse_file_path(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text("<a>hi</a>")
+        tree = parse_xml_file(path, text_mode="node")
+        assert tree.to_nested() == ("a", ["hi"])
+
+    def test_entities_are_decoded(self):
+        tree = parse_xml("<a>&amp;</a>")
+        assert [n.label for n in tree.iter_nodes()] == ["a", "&"]
+
+
+class TestSaxEvents:
+    def test_events_are_balanced(self):
+        events = list(iter_sax_events("<a><b>x</b></a>"))
+        starts = [label for kind, label in events if kind == START]
+        ends = [label for kind, label in events if kind == END]
+        assert sorted(starts) == sorted(ends)
+        assert starts[0] == "a" and ends[-1] == "a"
+
+    def test_event_count_is_twice_node_count(self):
+        document = "<a><b>xy</b><c/></a>"
+        tree = parse_xml(document)
+        events = list(iter_sax_events(document))
+        assert len(events) == 2 * tree.node_count()
+
+    def test_tree_to_sax_events_nesting(self):
+        tree = parse_xml("<a><b/><c/></a>", text_mode="ignore")
+        events = list(tree_to_sax_events(tree))
+        assert events == [
+            (START, "a"),
+            (START, "b"),
+            (END, "b"),
+            (START, "c"),
+            (END, "c"),
+            (END, "a"),
+        ]
+
+
+class TestSerialisation:
+    def test_round_trip_elements(self):
+        document = "<a><b/><c><d/></c></a>"
+        tree = parse_xml(document, text_mode="ignore")
+        assert serialize_xml(tree, char_nodes_as_text=False) == document
+
+    def test_round_trip_with_text(self):
+        document = "<a>hi<b/>yo</a>"
+        tree = parse_xml(document)
+        assert serialize_xml(tree) == document
+
+    def test_reparse_of_serialisation_is_identity(self):
+        document = "<doc><p>some text</p><p>more</p></doc>"
+        tree = parse_xml(document)
+        again = parse_xml(serialize_xml(tree))
+        assert tree.equals(again)
+
+    def test_selected_element_is_marked(self):
+        tree = parse_xml("<a><b/><c/></a>", text_mode="ignore")
+        # Node ids in document order: a=0, b=1, c=2.
+        output = serialize_with_selection(tree, selected={2}, char_nodes_as_text=False)
+        assert '<c arb:selected="true"/>' in output
+        assert "<b/>" in output and "b arb" not in output
+
+    def test_selected_character_node_is_wrapped(self):
+        tree = parse_xml("<a>xy</a>")
+        output = serialize_with_selection(tree, selected={1})
+        assert output == "<a><arb:selected>x</arb:selected>y</a>"
+
+    def test_escaping(self):
+        tree = parse_xml("<a>&lt;&amp;</a>", text_mode="node")
+        assert serialize_xml(tree) == "<a>&lt;&amp;</a>"
+
+    def test_selection_ids_match_binary_tree_ids(self):
+        document = "<r><a>x</a><b/></r>"
+        tree = parse_xml(document)
+        binary = BinaryTree.from_unranked(tree)
+        b_id = binary.labels.index("b")
+        output = serialize_with_selection(tree, selected={b_id})
+        assert '<b arb:selected="true"/>' in output
