@@ -26,7 +26,6 @@ from repro.datasets.random_queries import STEP_SOME_CHILD, TREEBANK_ALPHABET, ra
 from repro.storage import ArbDatabase, DiskQueryEngine, build_database
 from repro.streaming import StreamingEngine
 from repro.tmnf import TMNFProgram
-from repro.tree import BinaryTree
 from repro.xpath import xpath_to_program
 
 QUERY = random_query_batch(7, TREEBANK_ALPHABET, count=1, seed=5)[0]

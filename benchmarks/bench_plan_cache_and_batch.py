@@ -1,0 +1,50 @@
+"""Plan-layer benchmarks: cache amortisation and single-scan-pair batches.
+
+These measure the two claims of the plan layer:
+
+* repeating a query workload through the plan cache drops per-round cost to
+  pure scan time (all automaton transitions memoised, zero recompiled), and
+* batching k queries over an on-disk database touches the `.arb` file with
+  the same number of pages as a single query (one backward + one forward
+  scan in lockstep), so per-query I/O cost falls as 1/k.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.bench.plan_bench import batch_scaling_rows, plan_cache_rows
+from repro.bench.reporting import format_table
+
+
+def test_plan_cache_amortisation(benchmark, scale):
+    nodes = min(scale.treebank_nodes, 20_000)
+
+    def run():
+        return plan_cache_rows(rounds=3, n_queries=6, treebank_nodes=nodes)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Plan-cache amortisation (same workload, repeated rounds)",
+           format_table(rows))
+    benchmark.extra_info.update(rows[-1])
+    first, warm = rows[0], rows[-1]
+    # Round 1 compiles every plan; later rounds are pure cache hits with
+    # zero recompiled automaton transitions.
+    assert first["plan_misses"] == first["queries"]
+    assert warm["plan_hits"] == warm["queries"] and warm["plan_misses"] == 0
+    assert warm["bu_transitions"] == 0 and warm["td_transitions"] == 0
+
+
+def test_batch_single_scan_pair(benchmark, tmp_path, scale):
+    exponent = min(scale.acgt_exponent, 12)
+
+    def run():
+        return batch_scaling_rows(str(tmp_path), ks=(1, 4, 16), acgt_exponent=exponent)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Batch evaluation: .arb I/O vs batch size k", format_table(rows))
+    benchmark.extra_info.update(rows[-1])
+    # The data file is read exactly twice (one scan pair) for every k.
+    assert len({row["arb_pages_read"] for row in rows}) == 1
+    assert all(row["arb_scans"] == 2 for row in rows)
+    # The composite state file grows linearly in k instead.
+    assert rows[-1]["state_file_kb"] > rows[0]["state_file_kb"]

@@ -16,8 +16,9 @@ Quick start
 
 from repro.baselines.datalog import evaluate_fixpoint
 from repro.core.two_phase import EvaluationResult, EvaluationStatistics, TwoPhaseEvaluator
-from repro.engine import Database, QueryResult, compile_query
+from repro.engine import BatchQueryResult, Database, QueryResult, compile_query
 from repro.errors import ReproError
+from repro.plan import PlanCache, QueryPlan, default_plan_cache
 from repro.storage.database import ArbDatabase
 from repro.storage.disk_engine import DiskQueryEngine
 from repro.tmnf.program import TMNFProgram
@@ -32,6 +33,10 @@ __all__ = [
     "__version__",
     "Database",
     "QueryResult",
+    "BatchQueryResult",
+    "QueryPlan",
+    "PlanCache",
+    "default_plan_cache",
     "compile_query",
     "TMNFProgram",
     "TwoPhaseEvaluator",

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from repro.datasets.acgt import acgt_flat_events, acgt_infix_tree, random_sequence
 from repro.datasets.swissprot import generate_swissprot_events
 from repro.datasets.treebank import generate_treebank
-from repro.storage.build import BuildStatistics, DatabaseBuilder, events_from_tree
+from repro.storage.build import BuildStatistics, DatabaseBuilder
 from repro.tree.binary import NO_NODE, BinaryTree
 
 __all__ = ["Figure5Scale", "SCALES", "build_figure5_database", "figure5_rows", "DATABASE_NAMES"]

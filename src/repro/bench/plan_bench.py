@@ -1,0 +1,115 @@
+"""Benchmark builders for the query-plan layer.
+
+Two experiments, complementing the paper's Figures 5/6:
+
+* **Plan-cache amortisation** -- the same workload of random regular path
+  queries is issued repeatedly against one document through the
+  :class:`~repro.plan.cache.PlanCache`; from the second round on every query
+  is a plan hit, so the automata are fully warm and the per-round time drops
+  to pure scan cost (zero recompiled transitions).
+* **Batch scan scaling** -- ``k`` queries are evaluated over an on-disk
+  `.arb` database with :meth:`~repro.engine.Database.query_many`; the rows
+  show that ``pages_read`` of the data file does not grow with ``k`` (one
+  backward plus one forward scan for the whole batch) while the temporary
+  state file grows linearly (4k bytes per node).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench.figure6 import load_block_tree
+from repro.datasets.acgt import acgt_flat_tree, random_sequence
+from repro.datasets.random_queries import (
+    ACGT_ALPHABET,
+    STEP_PREVIOUS_SIBLING,
+    STEP_SOME_CHILD,
+    TREEBANK_ALPHABET,
+    random_query_batch,
+)
+from repro.engine import Database
+from repro.plan.cache import PlanCache
+
+__all__ = ["plan_cache_rows", "batch_scaling_rows"]
+
+
+def plan_cache_rows(
+    *,
+    rounds: int = 3,
+    n_queries: int = 8,
+    query_size: int = 9,
+    treebank_nodes: int = 5_000,
+    seed: int = 2003,
+) -> list[dict[str, object]]:
+    """One row per round of the same query workload through a shared cache."""
+    tree = load_block_tree("treebank", treebank_nodes=treebank_nodes, seed=seed)
+    database = Database.from_binary(tree, name="treebank")
+    database.plan_cache = PlanCache()
+    queries = [
+        query.to_program_text(STEP_SOME_CHILD)
+        for query in random_query_batch(query_size, TREEBANK_ALPHABET,
+                                        count=n_queries, seed=seed)
+    ]
+    rows: list[dict[str, object]] = []
+    for round_index in range(rounds):
+        started = time.perf_counter()
+        hits = misses = bu = td = 0
+        for query in queries:
+            result = database.query(query)
+            statistics = result.statistics
+            hits += statistics.plan_cache_hits
+            misses += statistics.plan_cache_misses
+            bu += statistics.bu_transitions
+            td += statistics.td_transitions
+        rows.append(
+            {
+                "round": round_index + 1,
+                "queries": len(queries),
+                "seconds": time.perf_counter() - started,
+                "bu_transitions": bu,
+                "td_transitions": td,
+                "plan_hits": hits,
+                "plan_misses": misses,
+            }
+        )
+    return rows
+
+
+def batch_scaling_rows(
+    directory: str,
+    *,
+    ks: tuple[int, ...] = (1, 2, 4, 8, 16),
+    query_size: int = 5,
+    acgt_exponent: int = 10,
+    seed: int = 2003,
+) -> list[dict[str, object]]:
+    """One row per batch size ``k`` over a freshly built on-disk DNA database."""
+    sequence = random_sequence(2**acgt_exponent - 1, seed=seed)
+    base_path = os.path.join(directory, "plan-bench-acgt-flat")
+    database = Database.build(acgt_flat_tree(sequence), base_path, name="acgt-flat")
+    queries = [
+        query.to_program_text(STEP_PREVIOUS_SIBLING)
+        for query in random_query_batch(query_size, ACGT_ALPHABET,
+                                        count=max(ks), seed=seed)
+    ]
+    rows: list[dict[str, object]] = []
+    for k in ks:
+        # A fresh cache per batch size keeps the compile cost comparable
+        # between rows; the point of this table is the I/O column.
+        database.plan_cache = PlanCache()
+        started = time.perf_counter()
+        batch = database.query_many(queries[:k])
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "k": k,
+                "arb_pages_read": batch.arb_io.pages_read,
+                "arb_scans": batch.arb_io.seeks,
+                "state_file_kb": round(batch.state_file_bytes / 1024.0, 1),
+                "seconds": elapsed,
+                "seconds_per_query": elapsed / k,
+                "selected_total": sum(result.statistics.selected for result in batch),
+            }
+        )
+    return rows

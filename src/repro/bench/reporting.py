@@ -8,11 +8,21 @@ __all__ = ["format_table"]
 
 
 def format_table(rows: Iterable[Mapping[str, object]], title: str | None = None) -> str:
-    """Render dict rows as an aligned text table (columns from the first row)."""
+    """Render dict rows as an aligned text table.
+
+    The columns are the union of all row keys in order of first appearance,
+    so heterogeneous rows -- e.g. statistics rows that carry the plan-cache
+    hit/miss counters next to rows that do not -- render without losing
+    fields; missing cells are left blank.
+    """
     rows = list(rows)
     if not rows:
         return "(no rows)"
-    columns = list(rows[0].keys())
+    columns: list[str] = []
+    for row in rows:
+        for column in row.keys():
+            if column not in columns:
+                columns.append(column)
     rendered = [[_format_cell(row.get(column)) for column in columns] for row in rows]
     widths = [
         max(len(column), *(len(line[i]) for line in rendered))
@@ -30,6 +40,8 @@ def format_table(rows: Iterable[Mapping[str, object]], title: str | None = None)
 
 
 def _format_cell(value: object) -> str:
+    if value is None:
+        return ""
     if isinstance(value, float):
         return f"{value:,.2f}"
     if isinstance(value, int):

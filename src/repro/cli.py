@@ -13,6 +13,13 @@ Subcommands
     statistics are printed; ``--mark-up`` emits the whole document with the
     selected nodes marked, ``--ids`` prints the selected node ids.
 
+    ``--engine {auto,memory,disk,streaming,fixpoint}`` forces an execution
+    backend (default: the planner's automatic choice, which e.g. routes
+    predicate-free downward XPath paths to the one-scan streaming engine).
+    ``-q`` / ``-f`` / ``-x`` may be repeated together with ``--batch``: the
+    batch is evaluated over an on-disk database with a **single** pair of
+    linear scans of the `.arb` file, however many queries it holds.
+
 ``arb stats DATABASE``
     Print the stored metadata of an `.arb` database.
 """
@@ -43,13 +50,21 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--text-mode", choices=("chars", "node", "ignore"), default="chars",
                        help="how to model text (default: one node per character)")
 
-    query = subparsers.add_parser("query", help="evaluate a node-selecting query")
+    query = subparsers.add_parser("query", help="evaluate node-selecting queries")
     query.add_argument("database", help=".arb base path or XML file")
     group = query.add_mutually_exclusive_group(required=True)
-    group.add_argument("-q", "--program", help="TMNF/caterpillar program text")
-    group.add_argument("-f", "--program-file", help="file containing a TMNF program")
-    group.add_argument("-x", "--xpath", help="XPath expression (supported fragment)")
+    group.add_argument("-q", "--program", action="append",
+                       help="TMNF/caterpillar program text (repeatable with --batch)")
+    group.add_argument("-f", "--program-file", action="append",
+                       help="file containing a TMNF program (repeatable with --batch)")
+    group.add_argument("-x", "--xpath", action="append",
+                       help="XPath expression, supported fragment (repeatable with --batch)")
     query.add_argument("--query-predicate", help="IDB predicate to report (default: QUERY/first head)")
+    query.add_argument("--engine", choices=("auto", "memory", "disk", "streaming", "fixpoint"),
+                       default="auto", help="execution backend (default: planner's choice)")
+    query.add_argument("--batch", action="store_true",
+                       help="evaluate all given queries together "
+                            "(on disk: one pair of linear scans for the whole batch)")
     query.add_argument("--ids", action="store_true", help="print selected node ids")
     query.add_argument("--mark-up", action="store_true",
                        help="print the document with selected nodes marked up")
@@ -74,20 +89,36 @@ def _command_build(args: argparse.Namespace) -> int:
     return 0
 
 
+def _collect_queries(args: argparse.Namespace) -> tuple[list[str], str]:
+    """The query texts and their language from the -q/-f/-x options."""
+    if args.xpath:
+        return list(args.xpath), "xpath"
+    if args.program_file:
+        texts = []
+        for path in args.program_file:
+            with open(path, "r", encoding="utf-8") as handle:
+                texts.append(handle.read())
+        return texts, "tmnf"
+    return list(args.program), "tmnf"
+
+
 def _command_query(args: argparse.Namespace) -> int:
     database = _open_database(args.database)
-    if args.xpath:
-        query_text, language = args.xpath, "xpath"
-    elif args.program_file:
-        with open(args.program_file, "r", encoding="utf-8") as handle:
-            query_text, language = handle.read(), "tmnf"
-    else:
-        query_text, language = args.program, "tmnf"
-    result = database.query(query_text, language=language, query_predicate=args.query_predicate)
+    queries, language = _collect_queries(args)
+    if args.batch:
+        return _run_batch_query(database, queries, language, args)
+    if len(queries) > 1:
+        raise ReproError("multiple queries given; use --batch to evaluate them together")
+    result = database.query(
+        queries[0], language=language, query_predicate=args.query_predicate,
+        engine=args.engine,
+    )
     predicate = result.program.query_predicates[0]
     statistics = result.statistics
     print(f"query predicate : {predicate}")
     print(f"selected nodes  : {result.count(predicate)}")
+    print(f"engine          : {result.backend}")
+    print(f"plan cache      : {'hit' if statistics.plan_cache_hits else 'miss'}")
     print(f"phase 1 (bottom-up): {statistics.bu_seconds:.4f}s, "
           f"{statistics.bu_transitions} transitions")
     print(f"phase 2 (top-down) : {statistics.td_seconds:.4f}s, "
@@ -97,6 +128,41 @@ def _command_query(args: argparse.Namespace) -> int:
         print(" ".join(str(node) for node in result.selected_nodes(predicate)))
     if args.mark_up:
         print(database.to_xml(result.selected_nodes(predicate)))
+    return 0
+
+
+def _run_batch_query(database: Database, queries: list[str], language: str,
+                     args: argparse.Namespace) -> int:
+    if args.mark_up:
+        raise ReproError("--mark-up is not available with --batch")
+    batch = database.query_many(
+        queries, language=language, query_predicate=args.query_predicate,
+        engine=args.engine,
+    )
+    print(f"batch           : {len(batch)} queries ({batch.backend})")
+    for index, result in enumerate(batch):
+        predicate = result.program.query_predicates[0]
+        statistics = result.statistics
+        cache = "hit" if statistics.plan_cache_hits else "miss"
+        print(f"  [{index}] {predicate}: {result.count(predicate)} selected, "
+              f"{statistics.bu_transitions}+{statistics.td_transitions} transitions, "
+              f"plan {cache}")
+        if args.ids:
+            print("      " + " ".join(str(node) for node in result.selected_nodes(predicate)))
+    arb = batch.arb_io
+    if batch.backend == "disk-batch":
+        # Only the lockstep batch executor guarantees one scan pair; the
+        # per-query fallback paths do one (or two) scans per query.
+        print(f".arb file I/O   : {arb.pages_read} pages / {arb.bytes_read} bytes read "
+              f"in {arb.seeks} linear scans (independent of batch size)")
+        print(f"state file      : {batch.state_file_bytes} bytes "
+              f"({batch.state_io.pages_read} pages read, "
+              f"{batch.state_io.pages_written} written)")
+    elif arb.pages_read or arb.bytes_read:
+        print(f".arb file I/O   : {arb.pages_read} pages / {arb.bytes_read} bytes read "
+              f"in {arb.seeks} linear scans")
+    print(f"total           : {batch.statistics.total_seconds:.4f}s "
+          f"over {batch.statistics.nodes} nodes")
     return 0
 
 

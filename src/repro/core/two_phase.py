@@ -52,6 +52,12 @@ class EvaluationStatistics:
     number of nodes assigned the query predicate (column (9));
     ``memory_estimate_kb`` approximates the space held by the automata's hash
     tables (column (10) analogue).
+
+    ``plan_cache_hits`` / ``plan_cache_misses`` record whether the query-plan
+    layer served this evaluation from a cached plan (in which case the lazily
+    computed transition counters above start from warm memo tables, typically
+    at zero recompiled transitions) or had to compile a fresh plan.  Both stay
+    zero for evaluations that bypass the plan layer.
     """
 
     bu_seconds: float = 0.0
@@ -63,6 +69,8 @@ class EvaluationStatistics:
     nodes: int = 0
     selected: int = 0
     memory_estimate_kb: float = 0.0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -78,6 +86,8 @@ class EvaluationStatistics:
             "total_seconds": self.total_seconds,
             "selected": self.selected,
             "memory_kb": self.memory_estimate_kb,
+            "plan_hits": self.plan_cache_hits,
+            "plan_misses": self.plan_cache_misses,
         }
 
 
@@ -148,6 +158,17 @@ class TwoPhaseEvaluator:
         self._down_rules = {1: tuple(prop.downward_rules1), 2: tuple(prop.downward_rules2)}
         self._sigma = prop.edb_predicates
         self._schema = prop.schema
+
+    def reset_stats(self) -> EvaluationStatistics:
+        """Install fresh per-run statistics, keeping the memoised tables.
+
+        The query-plan layer reuses one evaluator across many executions (of
+        the same plan, possibly over different documents); each execution
+        starts with this so its counters reflect only the work done by that
+        run -- a warm plan therefore reports zero recompiled transitions.
+        """
+        self.stats = EvaluationStatistics()
+        return self.stats
 
     # ------------------------------------------------------------------ #
     # State interning

@@ -1,14 +1,27 @@
 """High-level public API: databases and queries.
 
-:class:`Database` gives a single entry point over the two execution paths of
-the library:
+:class:`Database` gives a single entry point over the execution paths of the
+library.  Query evaluation is organised in a **plan layer**
+(:mod:`repro.plan`): a query is compiled once into a
+:class:`~repro.plan.plan.QueryPlan` (the parsed TMNF program plus the
+lazily-memoised bottom-up/top-down automaton tables), cached in a keyed
+:class:`~repro.plan.cache.PlanCache` -- so repeated and structurally-equal
+queries reuse every transition computed so far, across calls *and across
+documents* -- and executed by a pluggable backend:
 
-* **in-memory** -- built from an XML string/file or a tree object; queries run
-  with :class:`~repro.core.two_phase.TwoPhaseEvaluator`;
-* **secondary storage** -- an `.arb` database opened from disk (or built with
-  :meth:`Database.build`); queries run with
-  :class:`~repro.storage.disk_engine.DiskQueryEngine`, i.e. two linear scans
-  of the file and a temporary state file, never materialising the tree.
+* ``memory`` -- :class:`~repro.core.two_phase.TwoPhaseEvaluator` over the
+  in-memory binary tree;
+* ``disk`` -- :class:`~repro.storage.disk_engine.DiskQueryEngine`, i.e. two
+  linear scans of the `.arb` file and a temporary state file, never
+  materialising the tree;
+* ``streaming`` -- one-pass lazy-DFA evaluation for predicate-free downward
+  XPath paths (a single linear scan, on disk or in memory);
+* ``fixpoint`` -- the naive datalog fixpoint (reference semantics).
+
+A small planner picks the cheapest capable backend automatically; ``engine=``
+forces one.  :meth:`Database.query_many` evaluates *k* queries over an
+on-disk database in a **single pair of linear scans** by running the k
+bottom-up automata in lockstep per node.
 
 Queries can be written in TMNF / caterpillar syntax (the native language) or
 in the supported XPath fragment (translated to TMNF first).
@@ -24,69 +37,33 @@ Example
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable
+from typing import Iterable, Sequence
 
-from repro.baselines.datalog import evaluate_fixpoint
-from repro.core.two_phase import EvaluationStatistics, TwoPhaseEvaluator
 from repro.errors import EvaluationError
+from repro.plan.batch import evaluate_batch_on_disk
+from repro.plan.cache import PlanCache, default_plan_cache
+from repro.plan.plan import QueryPlan, compile_query
+from repro.plan.planner import AUTO_ENGINE, choose_backend
+from repro.plan.result import BatchQueryResult, QueryResult
 from repro.storage.build import build_database
 from repro.storage.database import ArbDatabase
-from repro.storage.disk_engine import DiskQueryEngine
-from repro.storage.paging import IOStatistics
 from repro.tmnf.program import TMNFProgram
 from repro.tree.binary import BinaryTree
 from repro.tree.unranked import UnrankedTree
 from repro.tree.xml_io import parse_xml, parse_xml_file, serialize_with_selection
 
-__all__ = ["Database", "QueryResult", "compile_query"]
-
-
-def compile_query(
-    query: str | TMNFProgram,
-    *,
-    language: str = "tmnf",
-    query_predicate: str | tuple[str, ...] | None = None,
-) -> TMNFProgram:
-    """Compile a query given in TMNF/caterpillar syntax or XPath into a program."""
-    if isinstance(query, TMNFProgram):
-        return query
-    if language == "tmnf":
-        return TMNFProgram.parse(query, query_predicates=query_predicate)
-    if language == "xpath":
-        from repro.xpath import xpath_to_program
-
-        return xpath_to_program(query)
-    raise EvaluationError(f"unknown query language: {language!r} (use 'tmnf' or 'xpath')")
-
-
-@dataclass
-class QueryResult:
-    """Answer of a query over a database."""
-
-    program: TMNFProgram
-    selected: dict[str, list[int]]
-    counts: dict[str, int]
-    statistics: EvaluationStatistics
-    io: IOStatistics | None = None
-    true_predicates: list[frozenset[str]] | None = None
-
-    def selected_nodes(self, predicate: str | None = None) -> list[int]:
-        """Node ids (document order) selected for a query predicate."""
-        if predicate is None:
-            predicate = self.program.query_predicates[0]
-        if predicate not in self.selected:
-            raise EvaluationError(f"no such query predicate: {predicate!r}")
-        return self.selected[predicate]
-
-    def count(self, predicate: str | None = None) -> int:
-        if predicate is None:
-            predicate = self.program.query_predicates[0]
-        return self.counts.get(predicate, 0)
+__all__ = ["Database", "QueryResult", "BatchQueryResult", "compile_query"]
 
 
 class Database:
-    """A queryable tree database, either in memory or in secondary storage."""
+    """A queryable tree database, either in memory or in secondary storage.
+
+    ``plan_cache`` defaults to the process-wide shared cache
+    (:func:`repro.plan.cache.default_plan_cache`), so query plans -- and the
+    memoised automata inside them -- are reused across databases.  Pass a
+    private :class:`~repro.plan.cache.PlanCache` to isolate a database, or
+    ``memoize=False`` on a query to bypass the cache entirely.
+    """
 
     def __init__(
         self,
@@ -95,6 +72,7 @@ class Database:
         unranked: UnrankedTree | None = None,
         disk: ArbDatabase | None = None,
         name: str = "",
+        plan_cache: PlanCache | None = None,
     ):
         if binary is None and unranked is None and disk is None:
             raise EvaluationError("a Database needs a tree or an on-disk .arb path")
@@ -102,6 +80,7 @@ class Database:
         self._unranked = unranked
         self._disk = disk
         self.name = name
+        self.plan_cache = plan_cache if plan_cache is not None else default_plan_cache()
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -145,12 +124,26 @@ class Database:
         return self._disk is not None
 
     @property
+    def disk(self) -> ArbDatabase | None:
+        """The on-disk database handle (``None`` for in-memory databases)."""
+        return self._disk
+
+    @property
     def n_nodes(self) -> int:
         if self._disk is not None:
             return self._disk.n_nodes
         return len(self._require_binary())
 
     def label(self, node: int) -> str:
+        """The label of ``node``.
+
+        On an on-disk database this is a single direct `.arb` record read
+        (one seek, ``record_size`` bytes); the tree is **not** materialised.
+        """
+        if self._binary is not None:
+            return self._binary.labels[node]
+        if self._disk is not None:
+            return self._disk.label_of(node)
         return self._require_binary().labels[node]
 
     def binary_tree(self) -> BinaryTree:
@@ -169,6 +162,62 @@ class Database:
             self._binary = self._disk.to_binary_tree()
         return self._binary
 
+    def close(self) -> None:
+        """Release the on-disk point-lookup handle (no-op for memory databases).
+
+        Scans open and close their own descriptors; only :meth:`label` /
+        :meth:`ArbDatabase.read_record` keep a lazily-opened handle around.
+        The database remains usable after closing (the handle reopens on the
+        next point lookup).
+        """
+        if self._disk is not None:
+            self._disk.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+
+    def plan(
+        self,
+        query: str | TMNFProgram,
+        *,
+        language: str = "tmnf",
+        query_predicate: str | tuple[str, ...] | None = None,
+        memoize: bool = True,
+    ) -> tuple[QueryPlan, bool | None]:
+        """The (cached) plan for ``query`` and whether the lookup was a hit.
+
+        With ``memoize=False`` the plan cache is bypassed (a fresh
+        non-memoising plan is compiled; used by the laziness ablation) and the
+        hit flag is ``None``.
+        """
+        if not memoize:
+            return (
+                QueryPlan.from_query(
+                    query, language=language, query_predicate=query_predicate,
+                    memoize=False,
+                ),
+                None,
+            )
+        return self.plan_cache.lookup(
+            query, language=language, query_predicate=query_predicate
+        )
+
+    @staticmethod
+    def _resolve_engine(engine: str | None, force_disk: bool | None) -> str | None:
+        """Fold the legacy ``force_disk`` flag into the engine name."""
+        if force_disk is None:
+            return engine
+        if engine not in (None, AUTO_ENGINE):
+            raise EvaluationError("pass either engine=... or force_disk=..., not both")
+        return "disk" if force_disk else "memory"
+
     # ------------------------------------------------------------------ #
     # Querying
     # ------------------------------------------------------------------ #
@@ -182,49 +231,102 @@ class Database:
         keep_true_predicates: bool = False,
         force_disk: bool | None = None,
         memoize: bool = True,
+        engine: str | None = None,
+        temp_dir: str | None = None,
     ) -> QueryResult:
         """Evaluate a node-selecting query and return the selected nodes.
 
-        ``force_disk`` overrides the automatic choice of execution path (it is
-        an error to force the disk path on a purely in-memory database).
+        ``engine`` selects the execution backend (``"memory"``, ``"disk"``,
+        ``"streaming"``, ``"fixpoint"``, or ``"auto"``/``None`` for the
+        planner's choice); it is an error to name a backend that cannot run
+        this query on this database.  ``force_disk`` is the legacy spelling of
+        ``engine="disk"`` / ``engine="memory"``.
         """
-        program = compile_query(query, language=language, query_predicate=query_predicate)
-        use_disk = self.is_on_disk if force_disk is None else force_disk
-        if use_disk:
-            if self._disk is None:
-                raise EvaluationError("cannot force disk evaluation: database is in memory")
-            engine = DiskQueryEngine(program, memoize=memoize)
-            disk_result = engine.evaluate(self._disk)
-            return QueryResult(
-                program=program,
-                selected=disk_result.selected,
-                counts=disk_result.selected_counts,
-                statistics=disk_result.statistics,
-                io=disk_result.io,
-            )
-        evaluator = TwoPhaseEvaluator(program, memoize=memoize)
-        result = evaluator.evaluate(self._require_binary(), keep_true_predicates=keep_true_predicates)
-        counts = {pred: len(nodes) for pred, nodes in result.selected.items()}
-        return QueryResult(
-            program=program,
-            selected=result.selected,
-            counts=counts,
-            statistics=result.statistics,
-            true_predicates=result.true_predicates,
+        engine = self._resolve_engine(engine, force_disk)
+        plan, hit = self.plan(
+            query, language=language, query_predicate=query_predicate, memoize=memoize
         )
+        backend = choose_backend(
+            plan, self, engine=engine, keep_true_predicates=keep_true_predicates
+        )
+        result = backend.execute(
+            plan, self, keep_true_predicates=keep_true_predicates, temp_dir=temp_dir
+        )
+        if hit is not None:
+            result.statistics.plan_cache_hits = int(hit)
+            result.statistics.plan_cache_misses = int(not hit)
+        return result
+
+    def query_many(
+        self,
+        queries: Sequence[str | TMNFProgram],
+        *,
+        language: str = "tmnf",
+        query_predicate: str | tuple[str, ...] | None = None,
+        memoize: bool = True,
+        engine: str | None = None,
+        temp_dir: str | None = None,
+        collect_selected_nodes: bool = True,
+    ) -> BatchQueryResult:
+        """Evaluate ``k`` queries together; on disk, in one pair of linear scans.
+
+        Over an on-disk database (and ``engine`` of ``None``/``"auto"``/
+        ``"disk"``) the k bottom-up automata run in lockstep per node during
+        **one** backward scan, writing one composite entry per node to the
+        temporary state file, followed by **one** forward scan for the k
+        top-down automata: the `.arb` file is read exactly twice however
+        large the batch is (see :attr:`BatchQueryResult.arb_io`).  Otherwise
+        the queries are executed one by one on the selected backend.
+        """
+        if not queries:
+            raise EvaluationError("query_many needs at least one query")
+        planned = [
+            self.plan(q, language=language, query_predicate=query_predicate,
+                      memoize=memoize)
+            for q in queries
+        ]
+        plans = [plan for plan, _ in planned]
+        if self.is_on_disk and engine in (None, AUTO_ENGINE, "disk"):
+            batch = evaluate_batch_on_disk(
+                plans, self._disk, temp_dir=temp_dir,
+                collect_selected_nodes=collect_selected_nodes,
+            )
+        else:
+            if engine == "disk":
+                raise EvaluationError("cannot force disk evaluation: database is in memory")
+            results = []
+            aggregate = BatchQueryResult(results=results)
+            for plan in plans:
+                backend = choose_backend(plan, self, engine=engine)
+                result = backend.execute(plan, self, temp_dir=temp_dir)
+                if not collect_selected_nodes:
+                    result.selected = {pred: [] for pred in result.selected}
+                results.append(result)
+                stats = result.statistics
+                aggregate.statistics.bu_seconds += stats.bu_seconds
+                aggregate.statistics.td_seconds += stats.td_seconds
+                aggregate.statistics.bu_transitions += stats.bu_transitions
+                aggregate.statistics.td_transitions += stats.td_transitions
+                aggregate.statistics.selected += stats.selected
+                if result.io is not None:
+                    aggregate.arb_io = aggregate.arb_io.merge(result.io)
+            aggregate.statistics.nodes = self.n_nodes
+            backends_used = {result.backend for result in results}
+            aggregate.backend = (
+                backends_used.pop() if len(backends_used) == 1 else "mixed"
+            )
+            batch = aggregate
+        for (plan, hit), result in zip(planned, batch.results):
+            if hit is not None:
+                result.statistics.plan_cache_hits = int(hit)
+                result.statistics.plan_cache_misses = int(not hit)
+        return batch
 
     def query_fixpoint(self, query: str | TMNFProgram, *, language: str = "tmnf",
                        query_predicate: str | tuple[str, ...] | None = None) -> QueryResult:
         """Evaluate with the naive datalog fixpoint baseline (reference semantics)."""
-        program = compile_query(query, language=language, query_predicate=query_predicate)
-        result = evaluate_fixpoint(program, self._require_binary())
-        counts = {pred: len(nodes) for pred, nodes in result.selected.items()}
-        return QueryResult(
-            program=program,
-            selected=result.selected,
-            counts=counts,
-            statistics=EvaluationStatistics(nodes=self.n_nodes,
-                                            selected=counts.get(program.query_predicates[0], 0)),
+        return self.query(
+            query, language=language, query_predicate=query_predicate, engine="fixpoint"
         )
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,281 @@
+"""Batch evaluation: k queries, one pair of linear scans (Section 4/5, batched).
+
+Evaluating ``k`` independent queries over an `.arb` database naively costs
+``2k`` linear scans of the data file.  This module runs the ``k`` bottom-up
+automata **in lockstep**: one backward scan computes, per node, a *composite*
+state entry (the k interned state ids, ``4k`` bytes) streamed to a single
+temporary state file; one forward scan then runs the k top-down automata in
+lockstep while reading the composite state file backwards.  The `.arb` file
+is therefore read exactly twice -- once per phase -- no matter how many
+queries the batch holds, which the separate ``arb_io`` counter proves.
+
+The per-plan automata stay fully independent (each plan keeps its own
+memoised tables and per-run statistics); only the *scan* is shared, along
+with the stack discipline of Proposition 5.1, whose depth bound is
+unchanged (each stack entry simply holds k states instead of one).
+
+The two phases below are the k-ary generalisation of
+:meth:`repro.storage.disk_engine.DiskQueryEngine._run_phase1` /
+``_run_phase2`` and must stay in lockstep with them -- a change to the scan
+or attachment discipline on one side belongs on both (the property test
+``test_batch_of_one_equals_single_disk_evaluation`` guards the pairing).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import tempfile
+import time
+from dataclasses import replace
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.two_phase import BOTTOM, EvaluationStatistics
+from repro.errors import EvaluationError
+from repro.plan.result import BatchQueryResult, QueryResult
+from repro.storage.database import ArbDatabase
+from repro.storage.paging import IOStatistics, PagedReader, PagedWriter
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plan.plan import QueryPlan
+
+__all__ = ["evaluate_batch_on_disk"]
+
+
+def evaluate_batch_on_disk(
+    plans: Sequence["QueryPlan"],
+    database: ArbDatabase,
+    *,
+    temp_dir: str | None = None,
+    collect_selected_nodes: bool = True,
+) -> BatchQueryResult:
+    """Evaluate ``plans`` over ``database`` with one backward + one forward scan."""
+    if not plans:
+        raise EvaluationError("batch evaluation needs at least one query")
+    plans = list(plans)
+    # The same plan object may appear several times (duplicate queries in the
+    # batch); reset its per-run statistics exactly once.
+    unique_plans: list["QueryPlan"] = []
+    seen: set[int] = set()
+    for plan in plans:
+        if id(plan) not in seen:
+            seen.add(id(plan))
+            unique_plans.append(plan)
+    for plan in unique_plans:
+        plan.begin_run()
+
+    arb_io = IOStatistics()
+    state_io = IOStatistics()
+    entry_struct = struct.Struct(f">{len(plans)}I")
+
+    directory = temp_dir or os.path.dirname(os.path.abspath(database.arb_path)) or "."
+    handle = tempfile.NamedTemporaryFile(
+        prefix=os.path.basename(database.base_path) + ".batchstate.",
+        dir=directory,
+        delete=False,
+    )
+    state_path = handle.name
+    handle.close()
+    try:
+        started = time.perf_counter()
+        _run_phase1(plans, database, state_path, entry_struct, arb_io, state_io)
+        phase1_seconds = time.perf_counter() - started
+        state_file_bytes = os.path.getsize(state_path)
+        started = time.perf_counter()
+        selected, counts, _ = _run_phase2(
+            plans, database, state_path, entry_struct, arb_io, state_io,
+            collect_selected_nodes,
+        )
+        phase2_seconds = time.perf_counter() - started
+    finally:
+        if os.path.exists(state_path):
+            os.remove(state_path)
+
+    total_io = arb_io.merge(state_io)
+    share = 1.0 / len(unique_plans)
+    for plan in unique_plans:
+        # The scans are shared; attribute an equal share of the wall time to
+        # each distinct plan so that the per-plan times sum to the batch time.
+        plan.evaluator.stats.bu_seconds += phase1_seconds * share
+        plan.evaluator.stats.td_seconds += phase2_seconds * share
+
+    results: list[QueryResult] = []
+    batch_stats = EvaluationStatistics(
+        bu_seconds=phase1_seconds,
+        td_seconds=phase2_seconds,
+        nodes=database.n_nodes,
+    )
+    plans_reported: set[int] = set()
+    for index, plan in enumerate(plans):
+        stats = plan.evaluator.stats
+        if id(plan) in plans_reported:
+            # A duplicate occurrence must not share (and overwrite) the first
+            # occurrence's statistics object; give it an independent copy.
+            stats = replace(stats)
+        plans_reported.add(id(plan))
+        stats.nodes = database.n_nodes
+        stats.selected = counts[index].get(plan.program.query_predicates[0], 0)
+        stats.bu_states = plan.evaluator.n_bottom_up_states
+        stats.memory_estimate_kb = plan.evaluator._memory_estimate_kb()
+        results.append(
+            QueryResult(
+                program=plan.program,
+                selected=selected[index],
+                counts=counts[index],
+                statistics=stats,
+                io=total_io,
+                backend="disk-batch",
+            )
+        )
+    for plan in unique_plans:
+        stats = plan.evaluator.stats
+        batch_stats.bu_transitions += stats.bu_transitions
+        batch_stats.td_transitions += stats.td_transitions
+        batch_stats.selected += stats.selected
+        batch_stats.memory_estimate_kb += stats.memory_estimate_kb
+    return BatchQueryResult(
+        results=results,
+        arb_io=arb_io,
+        state_io=state_io,
+        statistics=batch_stats,
+        state_file_bytes=state_file_bytes,
+        backend="disk-batch",
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Phase 1: one backward scan, composite state entries
+# ---------------------------------------------------------------------- #
+
+
+def _run_phase1(
+    plans: Sequence["QueryPlan"],
+    database: ArbDatabase,
+    state_path: str,
+    entry_struct: struct.Struct,
+    arb_io: IOStatistics,
+    state_io: IOStatistics,
+) -> int:
+    k = len(plans)
+    indices = range(k)
+    schemas = [plan.program.prop_local().schema for plan in plans]
+    computes = [plan.evaluator.compute_reachable_states for plan in plans]
+    # Per-plan memo of label sets, keyed by the raw record shape: each plan
+    # has its own schema (its sigma differs), so the sets differ per plan.
+    label_sets: list[dict[tuple, frozenset[str]]] = [{} for _ in plans]
+    n = database.n_nodes
+    stack: list[tuple[int, ...]] = []
+    max_depth = 0
+    count = 0
+    with PagedWriter(state_path, database.page_size, stats=state_io) as state_writer:
+        for offset, record in enumerate(database.records_backward(stats=arb_io)):
+            node_id = n - 1 - offset
+            first_states: tuple[int, ...] | None = None
+            second_states: tuple[int, ...] | None = None
+            if record.has_first_child:
+                first_states = stack.pop()
+            if record.has_second_child:
+                second_states = stack.pop()
+            is_root = node_id == 0
+            shape = (record.label_index, record.has_first_child,
+                     record.has_second_child, is_root)
+            name: str | None = None
+            states: list[int] = []
+            for i in indices:
+                labels = label_sets[i].get(shape)
+                if labels is None:
+                    if name is None:
+                        name = database.label_name(record)
+                    labels = schemas[i].label_set_for(
+                        name,
+                        is_root=is_root,
+                        has_first_child=record.has_first_child,
+                        has_second_child=record.has_second_child,
+                    )
+                    label_sets[i][shape] = labels
+                states.append(
+                    computes[i](
+                        first_states[i] if first_states is not None else BOTTOM,
+                        second_states[i] if second_states is not None else BOTTOM,
+                        labels,
+                    )
+                )
+            entry = tuple(states)
+            state_writer.write(entry_struct.pack(*entry))
+            stack.append(entry)
+            if len(stack) > max_depth:
+                max_depth = len(stack)
+            count += 1
+    if count != n or len(stack) != 1:
+        raise EvaluationError("batch phase 1 did not consume the database consistently")
+    return max_depth
+
+
+# ---------------------------------------------------------------------- #
+# Phase 2: one forward scan + backward read of the composite state file
+# ---------------------------------------------------------------------- #
+
+
+def _run_phase2(
+    plans: Sequence["QueryPlan"],
+    database: ArbDatabase,
+    state_path: str,
+    entry_struct: struct.Struct,
+    arb_io: IOStatistics,
+    state_io: IOStatistics,
+    collect_selected_nodes: bool,
+) -> tuple[list[dict[str, list[int]]], list[dict[str, int]], int]:
+    k = len(plans)
+    indices = range(k)
+    computes = [plan.evaluator.compute_true_preds for plan in plans]
+    root_preds = [plan.evaluator.root_true_preds for plan in plans]
+    query_predicates = [plan.program.query_predicates for plan in plans]
+    selected: list[dict[str, list[int]]] = [
+        {pred: [] for pred in preds} for preds in query_predicates
+    ]
+    counts: list[dict[str, int]] = [
+        {pred: 0 for pred in preds} for preds in query_predicates
+    ]
+
+    state_reader = PagedReader(state_path, database.page_size, stats=state_io)
+    states_iter = (
+        entry_struct.unpack(raw)
+        for raw in state_reader.records_backward(entry_struct.size)
+    )
+
+    awaiting_second: list[tuple[frozenset[str], ...]] = []
+    next_attachment: tuple[tuple[frozenset[str], ...], int] | None = None
+    max_depth = 0
+    for index, record in enumerate(database.records_forward(stats=arb_io)):
+        try:
+            own_states = next(states_iter)
+        except StopIteration as exc:  # pragma: no cover - defensive
+            raise EvaluationError("state file shorter than the database") from exc
+        if index == 0:
+            preds = tuple(root_preds[i](own_states[i]) for i in indices)
+        else:
+            if next_attachment is not None:
+                parent_preds, which = next_attachment
+            else:
+                parent_preds, which = awaiting_second.pop(), 2
+            preds = tuple(
+                computes[i](parent_preds[i], own_states[i], which) for i in indices
+            )
+        for i in indices:
+            for pred in query_predicates[i]:
+                if pred in preds[i]:
+                    counts[i][pred] += 1
+                    if collect_selected_nodes:
+                        selected[i][pred].append(index)
+        if record.has_first_child and record.has_second_child:
+            awaiting_second.append(preds)
+            if len(awaiting_second) > max_depth:
+                max_depth = len(awaiting_second)
+            next_attachment = (preds, 1)
+        elif record.has_first_child:
+            next_attachment = (preds, 1)
+        elif record.has_second_child:
+            next_attachment = (preds, 2)
+        else:
+            next_attachment = None
+    return selected, counts, max_depth

@@ -1,0 +1,157 @@
+"""Query plans: a compiled query plus its persistent automaton tables.
+
+A :class:`QueryPlan` is created once per (structurally distinct) query and
+lives as long as the :class:`~repro.plan.cache.PlanCache` keeps it.  It owns
+
+* the parsed/normalised :class:`~repro.tmnf.program.TMNFProgram`,
+* one persistent :class:`~repro.core.two_phase.TwoPhaseEvaluator` whose four
+  hash tables (interned states, bottom-up and top-down transitions) are the
+  lazily-materialised automata -- shared by **all** executions of the plan,
+  over any document, so a transition is computed at most once per plan
+  lifetime, and
+* for XPath queries, the compiled one-pass
+  :class:`~repro.streaming.engine.StreamPathQuery` when the expression is a
+  predicate-free downward path (``None`` otherwise), which lets the planner
+  route such queries to the single-scan streaming backend.
+
+Per-execution statistics are separated from the persistent tables with
+:meth:`QueryPlan.begin_run`: it installs a fresh
+:class:`~repro.core.two_phase.EvaluationStatistics` on the evaluator while
+keeping the memo tables, so a warm plan reports zero recompiled automaton
+transitions.
+"""
+
+from __future__ import annotations
+
+from repro.core.two_phase import EvaluationStatistics, TwoPhaseEvaluator
+from repro.errors import EvaluationError, XPathSyntaxError, XPathUnsupportedError
+from repro.tmnf.program import TMNFProgram
+
+__all__ = ["QueryPlan", "compile_query", "structural_key_of"]
+
+
+def structural_key_of(program: TMNFProgram) -> tuple:
+    """Key identifying a program up to structural equality.
+
+    Two queries with the same internal (caterpillar-expanded) rules and the
+    same query predicates share one plan, whatever their surface spelling or
+    source language (rule order is irrelevant to the least model, hence the
+    sort).
+    """
+    return (
+        program.query_predicates,
+        tuple(sorted(str(rule) for rule in program.internal_rules)),
+    )
+
+
+def compile_query(
+    query: str | TMNFProgram,
+    *,
+    language: str = "tmnf",
+    query_predicate: str | tuple[str, ...] | None = None,
+) -> TMNFProgram:
+    """Compile a query given in TMNF/caterpillar syntax or XPath into a program."""
+    if isinstance(query, TMNFProgram):
+        return query
+    if language == "tmnf":
+        return TMNFProgram.parse(query, query_predicates=query_predicate)
+    if language == "xpath":
+        from repro.xpath import xpath_to_program
+
+        return xpath_to_program(query)
+    raise EvaluationError(f"unknown query language: {language!r} (use 'tmnf' or 'xpath')")
+
+
+def _try_stream_compile(source: str | None, language: str):
+    """Compile ``source`` for the one-pass streaming engine, if it qualifies."""
+    if language != "xpath" or not isinstance(source, str):
+        return None
+    from repro.streaming.engine import StreamPathQuery
+
+    try:
+        return StreamPathQuery(source)
+    except (XPathSyntaxError, XPathUnsupportedError):
+        return None
+
+
+class QueryPlan:
+    """A compiled query and the memoised automata that execute it."""
+
+    def __init__(
+        self,
+        program: TMNFProgram,
+        *,
+        source: str | None = None,
+        language: str = "tmnf",
+        memoize: bool = True,
+    ):
+        self.program = program
+        self.source = source if source is not None else program.source
+        self.language = language
+        self.memoize = memoize
+        self.evaluator = TwoPhaseEvaluator(program, memoize=memoize)
+        self.streaming_query = _try_stream_compile(self.source, language)
+        self._streaming_engine = None
+        #: Number of times the plan has been executed (any backend).
+        self.executions = 0
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_query(
+        cls,
+        query: str | TMNFProgram,
+        *,
+        language: str = "tmnf",
+        query_predicate: str | tuple[str, ...] | None = None,
+        memoize: bool = True,
+    ) -> "QueryPlan":
+        """Compile ``query`` and wrap it in a fresh plan."""
+        if isinstance(query, TMNFProgram):
+            return cls(query, language="tmnf", memoize=memoize)
+        program = compile_query(query, language=language, query_predicate=query_predicate)
+        return cls(program, source=query, language=language, memoize=memoize)
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def structural_key(self) -> tuple:
+        """Key identifying the plan up to structural equality of the program."""
+        return structural_key_of(self.program)
+
+    def begin_run(self) -> EvaluationStatistics:
+        """Start one execution: fresh per-run statistics, warm memo tables."""
+        self.executions += 1
+        return self.evaluator.reset_stats()
+
+    @property
+    def streaming_engine(self):
+        """A persistent one-pass engine for streamable plans (``None`` otherwise).
+
+        Like the automaton tables, the engine's lazily-determinised DFA is
+        part of the plan: it survives across executions and documents.
+        """
+        if self.streaming_query is None:
+            return None
+        if self._streaming_engine is None:
+            from repro.streaming.engine import StreamingEngine
+
+            self._streaming_engine = StreamingEngine(self.streaming_query)
+        return self._streaming_engine
+
+    @property
+    def n_cached_bu_transitions(self) -> int:
+        """Bottom-up transitions accumulated over the plan's lifetime."""
+        return self.evaluator.n_bottom_up_transitions
+
+    @property
+    def n_cached_td_transitions(self) -> int:
+        """Top-down transitions accumulated over the plan's lifetime."""
+        return self.evaluator.n_top_down_transitions
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        streaming = ", streamable" if self.streaming_query is not None else ""
+        return (
+            f"QueryPlan({self.program!r}, language={self.language}, "
+            f"executions={self.executions}{streaming})"
+        )

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import StorageError
@@ -34,6 +34,14 @@ class ArbDatabase:
     element_nodes: int = 0
     char_nodes: int = 0
     page_size: int = DEFAULT_PAGE_SIZE
+    # Lazily opened read handle for point lookups (see read_record).
+    _point_handle: object = field(default=None, init=False, repr=False, compare=False)
+
+    def close(self) -> None:
+        """Close the point-lookup handle, if one was opened."""
+        if self._point_handle is not None:
+            self._point_handle.close()
+            self._point_handle = None
 
     # ------------------------------------------------------------------ #
     # Opening
@@ -106,6 +114,71 @@ class ArbDatabase:
 
     def label_name(self, record: NodeRecord) -> str:
         return self.labels.name_of(record.label_index)
+
+    # ------------------------------------------------------------------ #
+    # Point lookups
+    # ------------------------------------------------------------------ #
+
+    def read_record(self, node_id: int, stats: IOStatistics | None = None) -> NodeRecord:
+        """Read the record of a single node directly from the `.arb` file.
+
+        This is the point-lookup companion of the linear scans: one seek plus
+        one ``record_size``-byte read, for introspection (e.g. decoding the
+        label of a selected node) without materialising the tree.  The file
+        handle is opened lazily once and kept for subsequent lookups.
+        """
+        if not 0 <= node_id < self.n_nodes:
+            raise StorageError(
+                f"node id {node_id} out of range (database has {self.n_nodes} nodes)"
+            )
+        if self._point_handle is None:
+            self._point_handle = open(self.arb_path, "rb")
+        self._point_handle.seek(node_id * self.record_size)
+        raw = self._point_handle.read(self.record_size)
+        if len(raw) != self.record_size:
+            raise StorageError(f"{self.arb_path}: truncated record for node {node_id}")
+        if stats is not None:
+            stats.seeks += 1
+            stats.bytes_read += len(raw)
+            stats.pages_read += 1
+        return decode_node(raw, self.record_size)
+
+    def label_of(self, node_id: int, stats: IOStatistics | None = None) -> str:
+        """The label of ``node_id`` via a single direct record read."""
+        return self.label_name(self.read_record(node_id, stats=stats))
+
+    # ------------------------------------------------------------------ #
+    # Event reconstruction (for the one-pass streaming backend)
+    # ------------------------------------------------------------------ #
+
+    def sax_events(self, stats: IOStatistics | None = None):
+        """Reconstruct the document's SAX events in **one forward scan**.
+
+        The binary encoding is first-child/next-sibling, so a forward scan
+        (pre-order) yields the start events in document order; end events are
+        recovered with the stack discipline of Proposition 5.1: a node's end
+        event is due once its first-child subtree is exhausted, i.e. when a
+        descendant record without children and without a second child closes
+        the chain.  Yields ``(kind, label)`` pairs compatible with
+        :func:`repro.tree.xml_io.tree_to_sax_events`.
+        """
+        from repro.tree.xml_io import END, START
+
+        # (label, has_second_child) of nodes whose end event is pending.
+        stack: list[tuple[str, bool]] = []
+        for record in self.records_forward(stats=stats):
+            name = self.label_name(record)
+            yield START, name
+            if record.has_first_child:
+                stack.append((name, record.has_second_child))
+                continue
+            yield END, name
+            has_second = record.has_second_child
+            while not has_second:
+                if not stack:
+                    return
+                parent_name, has_second = stack.pop()
+                yield END, parent_name
 
     # ------------------------------------------------------------------ #
     # Materialisation (for tests, small databases and the in-memory engine)

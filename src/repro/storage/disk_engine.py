@@ -20,6 +20,10 @@ Phase 2 (top-down)
 Main memory holds only the two automata (hash tables of states and
 transitions, computed lazily) and a stack bounded by the depth of the XML
 tree -- never the tree itself.
+
+:mod:`repro.plan.batch` generalises both phases to k programs in lockstep
+(one composite state entry per node); changes to the scan or attachment
+discipline here must be mirrored there.
 """
 
 from __future__ import annotations
@@ -35,7 +39,6 @@ from repro.core.two_phase import BOTTOM, EvaluationStatistics, TwoPhaseEvaluator
 from repro.errors import EvaluationError
 from repro.storage.database import ArbDatabase
 from repro.storage.paging import IOStatistics, PagedReader, PagedWriter
-from repro.storage.records import NodeRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.tmnf.program import TMNFProgram
@@ -68,12 +71,19 @@ class DiskEvaluationResult:
 
 
 class DiskQueryEngine:
-    """Evaluate a TMNF program over an `.arb` database in two linear scans."""
+    """Evaluate a TMNF program over an `.arb` database in two linear scans.
+
+    ``core`` may supply an existing :class:`TwoPhaseEvaluator` (e.g. the
+    persistent evaluator of a cached :class:`~repro.plan.plan.QueryPlan`) so
+    that the lazily-memoised automaton tables carry over between queries and
+    databases; by default a fresh evaluator is created.
+    """
 
     def __init__(self, program: "TMNFProgram", *, memoize: bool = True,
-                 collect_selected_nodes: bool = True):
+                 collect_selected_nodes: bool = True,
+                 core: TwoPhaseEvaluator | None = None):
         self.program = program
-        self.core = TwoPhaseEvaluator(program, memoize=memoize)
+        self.core = core if core is not None else TwoPhaseEvaluator(program, memoize=memoize)
         self.collect_selected_nodes = collect_selected_nodes
         self._schema = program.prop_local().schema
 

@@ -17,7 +17,6 @@ page.
 
 from __future__ import annotations
 
-import io
 import os
 from dataclasses import dataclass, field
 

@@ -100,7 +100,14 @@ class StreamPathQuery:
 
 
 class StreamingEngine:
-    """Run compiled path queries over SAX event streams with a lazy DFA."""
+    """Run compiled path queries over SAX event streams with a lazy DFA.
+
+    An engine is reusable: :meth:`select` may be called any number of times
+    (over trees, or over events reconstructed from an `.arb` database with
+    :meth:`repro.storage.database.ArbDatabase.sax_events`), and the lazily
+    determinised transitions accumulate across runs -- the query-plan layer
+    keeps one engine per streamable plan for exactly this reason.
+    """
 
     def __init__(self, query: StreamPathQuery | str):
         self.query = query if isinstance(query, StreamPathQuery) else StreamPathQuery(query)
@@ -136,6 +143,13 @@ class StreamingEngine:
 
     def select_from_tree(self, tree: UnrankedTree) -> list[int]:
         return list(self.select(tree_to_sax_events(tree)))
+
+    @property
+    def n_dfa_states(self) -> int:
+        """Distinct determinised state sets reached so far."""
+        states = {self.query.initial_state()}
+        states.update(self._dfa.values())
+        return len(states)
 
 
 def stream_select(tree: UnrankedTree, expression: str) -> list[int]:

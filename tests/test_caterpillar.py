@@ -9,7 +9,6 @@ from repro.tmnf.caterpillar import (
     Optional,
     Plus,
     Star,
-    Step,
     StepNFA,
     alternation,
     concat,

@@ -1,0 +1,362 @@
+"""Tests for the query-plan layer: caching, backends, planner and batches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, TMNFProgram
+from repro.cli import main as cli_main
+from repro.errors import EvaluationError
+from repro.plan import PlanCache, QueryPlan, choose_backend, default_plan_cache
+from repro.storage.paging import IOStatistics
+from repro.tree.xml_io import parse_xml, tree_to_sax_events
+
+DOCUMENT = "<library><book><title>ab</title></book><dvd/><book/></library>"
+BOOK_QUERY = "QUERY :- V.Label[book];"
+
+
+def _memory_database() -> Database:
+    database = Database.from_xml(DOCUMENT)
+    database.plan_cache = PlanCache()
+    return database
+
+
+def _disk_database(tmp_path, document: str = DOCUMENT, *, text_mode: str = "chars") -> Database:
+    database = Database.build(document, str(tmp_path / "db"), text_mode=text_mode)
+    database.plan_cache = PlanCache()
+    return database
+
+
+class TestPlanCache:
+    def test_second_query_is_a_hit_with_zero_recompiled_automata(self):
+        database = _memory_database()
+        first = database.query(BOOK_QUERY)
+        assert first.statistics.plan_cache_misses == 1
+        assert first.statistics.plan_cache_hits == 0
+        assert first.statistics.bu_transitions > 0
+
+        second = database.query(BOOK_QUERY)
+        assert second.statistics.plan_cache_hits == 1
+        assert second.statistics.plan_cache_misses == 0
+        # The automata are fully warm: nothing is recompiled.
+        assert second.statistics.bu_transitions == 0
+        assert second.statistics.td_transitions == 0
+        assert second.selected_nodes() == first.selected_nodes()
+
+    def test_disk_repeat_is_a_hit_with_zero_recompiled_automata(self, tmp_path):
+        database = _disk_database(tmp_path)
+        first = database.query(BOOK_QUERY)
+        second = database.query(BOOK_QUERY)
+        assert first.backend == "disk" and second.backend == "disk"
+        assert second.statistics.plan_cache_hits == 1
+        assert second.statistics.bu_transitions == 0
+        assert second.statistics.td_transitions == 0
+
+    def test_structurally_equal_spellings_share_a_plan(self):
+        database = _memory_database()
+        database.query("QUERY :- V.Label[book];")
+        result = database.query("  QUERY   :-  V.Label[book] ;  ")
+        assert result.statistics.plan_cache_hits == 1
+        assert result.statistics.bu_transitions == 0
+
+    def test_plans_are_shared_across_documents(self, tmp_path):
+        cache = PlanCache()
+        one = Database.from_xml(DOCUMENT)
+        one.plan_cache = cache
+        two = Database.build("<library><book/></library>", str(tmp_path / "other"))
+        two.plan_cache = cache
+        one.query(BOOK_QUERY)
+        result = two.query(BOOK_QUERY)
+        # Same plan object serves both documents (and both backends).
+        assert result.statistics.plan_cache_hits == 1
+        assert len(cache) == 1
+
+    def test_program_objects_hit_structurally(self):
+        database = _memory_database()
+        program = TMNFProgram.parse(BOOK_QUERY)
+        database.query(program)
+        again = database.query(TMNFProgram.parse(BOOK_QUERY))
+        assert again.statistics.plan_cache_hits == 1
+
+    def test_lru_eviction_bounds_live_plans(self):
+        database = _memory_database()
+        database.plan_cache = PlanCache(max_plans=2)
+        for label in ("book", "dvd", "title"):
+            database.query(f"QUERY :- V.Label[{label}];")
+        assert len(database.plan_cache) == 2
+        # The oldest plan (book) was evicted; querying it again is a miss.
+        result = database.query(BOOK_QUERY)
+        assert result.statistics.plan_cache_misses == 1
+
+    def test_memoize_false_bypasses_the_cache(self):
+        database = _memory_database()
+        result = database.query(BOOK_QUERY, memoize=False)
+        assert result.statistics.plan_cache_hits == 0
+        assert result.statistics.plan_cache_misses == 0
+        assert len(database.plan_cache) == 0
+
+    def test_contains_and_clear(self):
+        database = _memory_database()
+        database.query(BOOK_QUERY)
+        assert BOOK_QUERY in database.plan_cache
+        assert database.plan_cache.stats()["misses"] == 1
+        database.plan_cache.clear()
+        assert BOOK_QUERY not in database.plan_cache
+        assert len(database.plan_cache) == 0
+
+    def test_default_cache_is_process_wide(self):
+        assert Database.from_xml("<a/>").plan_cache is default_plan_cache()
+
+
+class TestBackendsAndPlanner:
+    def test_auto_routing(self, tmp_path):
+        memory = _memory_database()
+        assert memory.query(BOOK_QUERY).backend == "memory"
+        disk = _disk_database(tmp_path)
+        assert disk.query(BOOK_QUERY).backend == "disk"
+        # Predicate-free downward XPath over disk goes to the one-scan engine.
+        assert disk.query("//book", language="xpath").backend == "streaming"
+        # ... but not when per-node predicate sets are requested.
+        kept = disk.query("//book", language="xpath", keep_true_predicates=True)
+        assert kept.backend == "disk"
+
+    def test_explicit_engines_agree(self, tmp_path):
+        disk = _disk_database(tmp_path, text_mode="ignore")
+        expected = [1, 4]
+        for engine in ("memory", "disk", "streaming", "fixpoint"):
+            result = disk.query("//book", language="xpath", engine=engine)
+            assert result.backend == engine
+            assert result.selected_nodes() == expected, engine
+
+    def test_streaming_matches_two_phase_with_char_nodes(self, tmp_path):
+        disk = _disk_database(tmp_path)  # chars mode: 'a'/'b' char nodes exist
+        stream = disk.query("//book", language="xpath", engine="streaming")
+        two_phase = disk.query("//book", language="xpath", engine="disk")
+        assert stream.selected_nodes() == two_phase.selected_nodes()
+
+    def test_streaming_single_scan_io(self, tmp_path):
+        disk = _disk_database(tmp_path)
+        stream = disk.query("//book", language="xpath", engine="streaming")
+        two_phase = disk.query("//book", language="xpath", engine="disk")
+        # One forward scan, no temporary state file: strictly less I/O.
+        assert stream.io.seeks == 1
+        assert stream.io.bytes_read == disk.disk.file_size()
+        assert two_phase.io.bytes_read >= 2 * disk.disk.file_size()
+
+    def test_streaming_rejects_non_streamable_queries(self):
+        database = _memory_database()
+        with pytest.raises(EvaluationError):
+            database.query(BOOK_QUERY, engine="streaming")  # TMNF, not a path
+        with pytest.raises(EvaluationError):
+            database.query("//book[title]", language="xpath", engine="streaming")
+
+    def test_streaming_rejects_keep_true_predicates(self):
+        database = _memory_database()
+        with pytest.raises(EvaluationError):
+            database.query("//book", language="xpath", engine="streaming",
+                           keep_true_predicates=True)
+
+    def test_unknown_engine_and_conflicting_flags(self):
+        database = _memory_database()
+        with pytest.raises(EvaluationError):
+            database.query(BOOK_QUERY, engine="quantum")
+        with pytest.raises(EvaluationError):
+            database.query(BOOK_QUERY, engine="memory", force_disk=True)
+
+    def test_force_disk_still_works(self, tmp_path):
+        disk = _disk_database(tmp_path)
+        assert disk.query(BOOK_QUERY, force_disk=False).backend == "memory"
+        memory = _memory_database()
+        with pytest.raises(EvaluationError):
+            memory.query(BOOK_QUERY, force_disk=True)
+
+    def test_fixpoint_backend_and_query_fixpoint(self):
+        database = _memory_database()
+        via_engine = database.query(BOOK_QUERY, engine="fixpoint")
+        via_method = database.query_fixpoint(BOOK_QUERY)
+        fast = database.query(BOOK_QUERY)
+        assert via_engine.backend == via_method.backend == "fixpoint"
+        assert via_engine.selected_nodes() == fast.selected_nodes()
+        assert via_method.selected_nodes() == fast.selected_nodes()
+
+    def test_memory_path_reports_zeroed_io(self):
+        database = _memory_database()
+        result = database.query(BOOK_QUERY)
+        assert isinstance(result.io, IOStatistics)
+        assert result.io.bytes_read == 0 and result.io.pages_read == 0
+
+    def test_planner_object_api(self, tmp_path):
+        disk = _disk_database(tmp_path)
+        plan, hit = disk.plan("//book", language="xpath")
+        assert hit is False and isinstance(plan, QueryPlan)
+        assert plan.streaming_query is not None
+        assert choose_backend(plan, disk).name == "streaming"
+        assert choose_backend(plan, disk, engine="disk").name == "disk"
+
+
+class TestBatchEvaluation:
+    QUERIES = [
+        "QUERY :- V.Label[book];",
+        "QUERY :- V.Label[dvd];",
+        "QUERY :- V.Label[title];",
+        "Q :- V.Root; QUERY :- Q.FirstChild;",
+    ]
+
+    def test_batch_matches_per_query_results(self, tmp_path):
+        database = _disk_database(tmp_path)
+        batch = database.query_many(self.QUERIES)
+        assert len(batch) == len(self.QUERIES)
+        for query, result in zip(self.QUERIES, batch):
+            single = database.query(query, engine="disk")
+            assert result.selected_nodes() == single.selected_nodes()
+            assert result.counts == single.counts
+            assert result.backend == "disk-batch"
+
+    def test_arb_pages_read_is_independent_of_batch_size(self, tmp_path):
+        # A document large enough to span several pages of the state file.
+        document = "<lib>" + "<book><title>ab</title></book><dvd/>" * 500 + "</lib>"
+        database = _disk_database(tmp_path, document)
+        pages = set()
+        scans = set()
+        for k in (1, 4, 16):
+            database.plan_cache = PlanCache()
+            queries = [self.QUERIES[i % len(self.QUERIES)] for i in range(k)]
+            batch = database.query_many(queries)
+            pages.add(batch.arb_io.pages_read)
+            scans.add(batch.arb_io.seeks)
+            # The composite state file holds 4k bytes per node.
+            assert batch.state_file_bytes == 4 * k * database.n_nodes
+        # Exactly one backward + one forward scan, whatever k is.
+        assert len(pages) == 1
+        assert scans == {2}
+
+    def test_duplicate_queries_in_one_batch(self, tmp_path):
+        database = _disk_database(tmp_path)
+        batch = database.query_many([BOOK_QUERY, BOOK_QUERY])
+        assert batch[0].selected_nodes() == batch[1].selected_nodes()
+        assert batch.state_file_bytes == 4 * 2 * database.n_nodes
+        # Each occurrence owns its statistics: the first records the compile
+        # miss, the second the source-cache hit.
+        assert batch[0].statistics is not batch[1].statistics
+        assert batch[0].statistics.plan_cache_misses == 1
+        assert batch[1].statistics.plan_cache_hits == 1
+
+    def test_batch_without_collecting_nodes(self, tmp_path):
+        disk = _disk_database(tmp_path)
+        for database in (disk, _memory_database()):
+            batch = database.query_many([BOOK_QUERY], collect_selected_nodes=False)
+            assert batch[0].selected_nodes() == []
+            assert batch[0].counts["QUERY"] == 2
+
+    def test_memory_batch_reports_its_backend(self):
+        database = _memory_database()
+        batch = database.query_many([BOOK_QUERY], engine="auto")
+        assert batch.backend == "memory"
+
+    def test_batch_on_memory_database(self):
+        database = _memory_database()
+        batch = database.query_many(self.QUERIES)
+        for query, result in zip(self.QUERIES, batch):
+            assert result.selected_nodes() == database.query(query).selected_nodes()
+        assert batch.arb_io.bytes_read == 0
+
+    def test_batch_cache_hits_reported_per_query(self, tmp_path):
+        database = _disk_database(tmp_path)
+        first = database.query_many([BOOK_QUERY, "QUERY :- V.Label[dvd];"])
+        assert [r.statistics.plan_cache_misses for r in first] == [1, 1]
+        second = database.query_many([BOOK_QUERY, "QUERY :- V.Label[dvd];"])
+        assert [r.statistics.plan_cache_hits for r in second] == [1, 1]
+        assert all(r.statistics.bu_transitions == 0 for r in second)
+
+    def test_empty_batch_is_an_error(self, tmp_path):
+        database = _disk_database(tmp_path)
+        with pytest.raises(EvaluationError):
+            database.query_many([])
+
+    def test_batch_forcing_disk_on_memory_database_fails(self):
+        database = _memory_database()
+        with pytest.raises(EvaluationError):
+            database.query_many([BOOK_QUERY], engine="disk")
+
+
+class TestDirectDiskAccess:
+    def test_label_does_not_materialise_the_tree(self, tmp_path):
+        database = _disk_database(tmp_path)
+        result = database.query(BOOK_QUERY)
+        labels = [database.label(node) for node in result.selected_nodes()]
+        assert labels == ["book", "book"]
+        # The point of the direct record read: no in-memory tree was built.
+        assert database._binary is None
+
+    def test_read_record_bounds_and_stats(self, tmp_path):
+        from repro.errors import StorageError
+
+        database = _disk_database(tmp_path)
+        stats = IOStatistics()
+        record = database.disk.read_record(0, stats=stats)
+        assert database.disk.label_name(record) == "library"
+        assert stats.seeks == 1 and stats.bytes_read == database.disk.record_size
+        with pytest.raises(StorageError):
+            database.disk.read_record(database.n_nodes)
+        with pytest.raises(StorageError):
+            database.disk.read_record(-1)
+
+    def test_close_releases_point_handle_and_is_reusable(self, tmp_path):
+        with Database.build(DOCUMENT, str(tmp_path / "db")) as database:
+            assert database.label(0) == "library"
+            assert database.disk._point_handle is not None
+        assert database.disk._point_handle is None
+        # Still usable after closing: the handle reopens lazily.
+        assert database.label(0) == "library"
+        database.close()
+        Database.from_xml("<a/>").close()  # no-op in memory
+
+    def test_sax_events_match_tree_events(self, tmp_path):
+        for text_mode in ("chars", "ignore"):
+            document = "<a><b>xy</b><c/><d><e/></d></a>"
+            database = Database.build(
+                document, str(tmp_path / f"sax-{text_mode}"), text_mode=text_mode
+            )
+            tree = parse_xml(document, text_mode=text_mode)
+            assert list(database.disk.sax_events()) == list(tree_to_sax_events(tree))
+
+
+class TestCLIPlanFlags:
+    def _build(self, tmp_path) -> str:
+        xml_path = tmp_path / "doc.xml"
+        xml_path.write_text(DOCUMENT)
+        base = str(tmp_path / "doc")
+        assert cli_main(["build", str(xml_path), base]) == 0
+        return base
+
+    def test_engine_flag(self, tmp_path, capsys):
+        base = self._build(tmp_path)
+        capsys.readouterr()
+        assert cli_main(["query", base, "-x", "//book", "--engine", "streaming"]) == 0
+        out = capsys.readouterr().out
+        assert "engine          : streaming" in out
+        assert "selected nodes  : 2" in out
+
+    def test_batch_flag(self, tmp_path, capsys):
+        base = self._build(tmp_path)
+        capsys.readouterr()
+        assert cli_main([
+            "query", base, "--batch", "--ids",
+            "-q", "QUERY :- V.Label[book];",
+            "-q", "QUERY :- V.Label[dvd];",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "batch           : 2 queries (disk-batch)" in out
+        assert "independent of batch size" in out
+
+    def test_multiple_queries_without_batch_fail(self, tmp_path, capsys):
+        base = self._build(tmp_path)
+        capsys.readouterr()
+        assert cli_main(["query", base, "-q", "A :- V.Root;", "-q", "B :- V.Root;"]) == 1
+        assert "use --batch" in capsys.readouterr().err
+
+    def test_markup_with_batch_fails(self, tmp_path, capsys):
+        base = self._build(tmp_path)
+        capsys.readouterr()
+        assert cli_main(["query", base, "--batch", "--mark-up", "-q", BOOK_QUERY]) == 1
+        assert "--mark-up" in capsys.readouterr().err

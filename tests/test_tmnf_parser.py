@@ -7,7 +7,7 @@ import pytest
 from repro.errors import TMNFSyntaxError
 from repro.tmnf import parse_rules
 from repro.tmnf.ast import CaterpillarRule, DownRule, LocalRule, UpRule
-from repro.tmnf.caterpillar import Alt, Concat, Star, Step
+from repro.tmnf.caterpillar import Alt, Concat, Star
 
 
 class TestStrictTemplates:

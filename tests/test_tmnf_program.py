@@ -8,7 +8,7 @@ import pytest
 from repro.core.horn import Rule
 from repro.errors import TMNFValidationError
 from repro.tmnf import TMNFProgram, compile_rules, parse_rules
-from repro.tmnf.ast import CaterpillarRule, DownRule, LocalRule, UpRule
+from repro.tmnf.ast import DownRule, LocalRule, UpRule
 from repro.tmnf.proplocal import prop_local
 from tests.conftest import EVEN_ODD_EXAMPLE, RUNNING_EXAMPLE
 
