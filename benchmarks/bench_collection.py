@@ -1,0 +1,57 @@
+"""Collection benchmarks: worker scaling and corpus-linear, k-constant I/O.
+
+These measure the two claims of the sharded collection layer:
+
+* evaluating a corpus with more workers never changes the access pattern
+  (identical `.arb` page counts for every worker count, one scan pair per
+  document), and
+* total `.arb` I/O grows linearly in the number of documents while, for a
+  fixed corpus, it is independent of how many queries ride in one batch.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.bench.collection_bench import corpus_scaling_rows, worker_scaling_rows
+from repro.bench.reporting import format_table
+
+
+def test_collection_worker_scaling(benchmark, tmp_path, scale):
+    exponent = min(scale.acgt_exponent, 10)
+
+    def run():
+        return worker_scaling_rows(
+            str(tmp_path), n_docs=8, acgt_exponent=exponent,
+            worker_counts=(1, 2, 4),
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Collection throughput vs worker count (8 documents)", format_table(rows))
+    benchmark.extra_info.update(rows[-1])
+    # Sharding changes who scans, never what is scanned: identical I/O.
+    assert len({row["arb_pages_read"] for row in rows}) == 1
+    assert len({row["arb_scans"] for row in rows}) == 1
+    assert all(row["arb_scans"] == 2 * 8 for row in rows)
+
+
+def test_collection_corpus_scaling(benchmark, tmp_path, scale):
+    exponent = min(scale.acgt_exponent, 9)
+
+    def run():
+        return corpus_scaling_rows(
+            str(tmp_path), doc_counts=(2, 4, 8), ks=(1, 4),
+            acgt_exponent=exponent,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Collection .arb I/O vs corpus size and batch size", format_table(rows))
+    benchmark.extra_info.update(rows[-1])
+    by_docs: dict[int, set[int]] = {}
+    for row in rows:
+        by_docs.setdefault(row["documents"], set()).add(row["arb_pages_read"])
+    # For a fixed corpus, pages read are independent of the batch size k ...
+    assert all(len(pages) == 1 for pages in by_docs.values())
+    # ... and grow linearly with the number of documents (equal-size docs).
+    pages = {docs: pages_set.pop() for docs, pages_set in by_docs.items()}
+    assert pages[4] == 2 * pages[2]
+    assert pages[8] == 2 * pages[4]

@@ -15,6 +15,7 @@ Quick start
 """
 
 from repro.baselines.datalog import evaluate_fixpoint
+from repro.collection import Collection, CollectionQueryResult, DocumentQueryResult
 from repro.core.two_phase import EvaluationResult, EvaluationStatistics, TwoPhaseEvaluator
 from repro.engine import BatchQueryResult, Database, QueryResult, compile_query
 from repro.errors import ReproError
@@ -34,6 +35,9 @@ __all__ = [
     "Database",
     "QueryResult",
     "BatchQueryResult",
+    "Collection",
+    "CollectionQueryResult",
+    "DocumentQueryResult",
     "QueryPlan",
     "PlanCache",
     "default_plan_cache",

@@ -1,0 +1,133 @@
+"""Benchmark builders for the sharded document-collection layer.
+
+Two experiments extend the plan-layer tables to a corpus of documents:
+
+* **Worker scaling** -- the same query batch is evaluated over a fixed
+  corpus with growing worker counts; throughput (documents per second) may
+  rise with workers, while the `.arb` I/O columns stay *identical*: sharding
+  never changes the access pattern, every document is still touched by one
+  backward plus one forward linear scan per batch.
+* **Corpus scaling** -- the corpus grows while the batch size ``k`` varies;
+  total ``pages_read`` grows linearly in the number of documents (one scan
+  pair each) and, for a fixed corpus, is independent of ``k``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.collection import Collection
+from repro.datasets.acgt import acgt_flat_tree, random_sequence
+from repro.datasets.random_queries import (
+    ACGT_ALPHABET,
+    STEP_PREVIOUS_SIBLING,
+    random_query_batch,
+)
+from repro.plan.cache import PlanCache
+
+__all__ = ["build_acgt_collection", "worker_scaling_rows", "corpus_scaling_rows"]
+
+
+def build_acgt_collection(
+    directory: str,
+    *,
+    n_docs: int = 8,
+    acgt_exponent: int = 9,
+    seed: int = 2003,
+) -> Collection:
+    """A collection of ``n_docs`` flat DNA documents of ~2**exponent nodes."""
+    collection = Collection.create(
+        os.path.join(directory, f"acgt-corpus-{n_docs}"), plan_cache=PlanCache()
+    )
+    for index in range(n_docs):
+        sequence = random_sequence(2**acgt_exponent - 1, seed=seed + index)
+        collection.add_document(acgt_flat_tree(sequence), doc_id=f"acgt-{index:03d}")
+    return collection
+
+
+def _acgt_queries(count: int, query_size: int, seed: int) -> list[str]:
+    return [
+        query.to_program_text(STEP_PREVIOUS_SIBLING)
+        for query in random_query_batch(query_size, ACGT_ALPHABET, count=count, seed=seed)
+    ]
+
+
+def worker_scaling_rows(
+    directory: str,
+    *,
+    n_docs: int = 8,
+    acgt_exponent: int = 9,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    executor: str = "thread",
+    n_queries: int = 4,
+    query_size: int = 5,
+    seed: int = 2003,
+) -> list[dict[str, object]]:
+    """One row per worker count, same corpus and query batch throughout."""
+    collection = build_acgt_collection(
+        directory, n_docs=n_docs, acgt_exponent=acgt_exponent, seed=seed
+    )
+    queries = _acgt_queries(n_queries, query_size, seed)
+    rows: list[dict[str, object]] = []
+    for n_workers in worker_counts:
+        # A fresh cache per row keeps the compile cost comparable between
+        # rows; the point of this table is throughput vs identical I/O.
+        collection.plan_cache = PlanCache()
+        started = time.perf_counter()
+        result = collection.query_many(
+            queries, n_workers=n_workers, executor=executor,
+            collect_selected_nodes=False,
+        )
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "workers": result.n_workers,
+                "shards": result.n_shards,
+                "seconds": elapsed,
+                "docs_per_second": len(result) / elapsed if elapsed else float("inf"),
+                "arb_pages_read": result.arb_io.pages_read,
+                "arb_scans": result.arb_io.seeks,
+                "selected_total": result.statistics.selected,
+            }
+        )
+    return rows
+
+
+def corpus_scaling_rows(
+    directory: str,
+    *,
+    doc_counts: tuple[int, ...] = (2, 4, 8),
+    ks: tuple[int, ...] = (1, 4),
+    acgt_exponent: int = 9,
+    n_workers: int = 4,
+    executor: str = "thread",
+    query_size: int = 5,
+    seed: int = 2003,
+) -> list[dict[str, object]]:
+    """One row per (corpus size, batch size): `.arb` pages vs documents vs k."""
+    queries = _acgt_queries(max(ks), query_size, seed)
+    rows: list[dict[str, object]] = []
+    for n_docs in doc_counts:
+        collection = build_acgt_collection(
+            directory, n_docs=n_docs, acgt_exponent=acgt_exponent, seed=seed
+        )
+        for k in ks:
+            collection.plan_cache = PlanCache()
+            started = time.perf_counter()
+            result = collection.query_many(
+                queries[:k], engine="disk", n_workers=n_workers,
+                executor=executor, collect_selected_nodes=False,
+            )
+            elapsed = time.perf_counter() - started
+            rows.append(
+                {
+                    "documents": n_docs,
+                    "k": k,
+                    "arb_pages_read": result.arb_io.pages_read,
+                    "pages_per_doc": result.arb_io.pages_read / n_docs,
+                    "arb_scans": result.arb_io.seeks,
+                    "seconds": elapsed,
+                }
+            )
+    return rows

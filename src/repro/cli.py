@@ -22,6 +22,19 @@ Subcommands
 
 ``arb stats DATABASE``
     Print the stored metadata of an `.arb` database.
+
+``arb collection build ROOT XML [XML ...]``
+    Create (or extend) a document collection at ``ROOT``: one `.arb`
+    database per XML file under ``ROOT/docs/``, registered in the manifest.
+
+``arb collection query ROOT (-q PROGRAM | -f FILE | -x XPATH)``
+    Evaluate queries over **every** document of the collection, sharded
+    across ``--workers`` workers (``--executor`` chooses thread, process or
+    serial evaluation).  With ``--batch``, all given queries ride one
+    lockstep scan pair per document.
+
+``arb collection stats ROOT``
+    Print the manifest of a collection and the shared plan-cache counters.
 """
 
 from __future__ import annotations
@@ -29,6 +42,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.collection import EXECUTORS, Collection
 from repro.engine import Database
 from repro.errors import ReproError
 from repro.storage.build import build_database
@@ -71,6 +85,47 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = subparsers.add_parser("stats", help="print metadata of an .arb database")
     stats.add_argument("database", help=".arb base path")
+
+    collection = subparsers.add_parser(
+        "collection", help="manage and query a sharded document collection"
+    )
+    collection_sub = collection.add_subparsers(dest="collection_command", required=True)
+
+    cbuild = collection_sub.add_parser(
+        "build", help="add XML documents to a collection (created if missing)"
+    )
+    cbuild.add_argument("root", help="collection root directory")
+    cbuild.add_argument("xml", nargs="+", help="input XML documents")
+    cbuild.add_argument("--text-mode", choices=("chars", "node", "ignore"), default="chars",
+                        help="how to model text (default: one node per character)")
+
+    cquery = collection_sub.add_parser(
+        "query", help="evaluate queries over every document of a collection"
+    )
+    cquery.add_argument("root", help="collection root directory")
+    cgroup = cquery.add_mutually_exclusive_group(required=True)
+    cgroup.add_argument("-q", "--program", action="append",
+                        help="TMNF/caterpillar program text (repeatable with --batch)")
+    cgroup.add_argument("-f", "--program-file", action="append",
+                        help="file containing a TMNF program (repeatable with --batch)")
+    cgroup.add_argument("-x", "--xpath", action="append",
+                        help="XPath expression, supported fragment (repeatable with --batch)")
+    cquery.add_argument("--query-predicate",
+                        help="IDB predicate to report (default: QUERY/first head)")
+    cquery.add_argument("--engine", choices=("auto", "memory", "disk", "streaming", "fixpoint"),
+                        default="auto", help="execution backend (default: planner's choice)")
+    cquery.add_argument("--batch", action="store_true",
+                        help="evaluate all given queries together "
+                             "(one lockstep scan pair per document)")
+    cquery.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="number of parallel workers (default: 1)")
+    cquery.add_argument("--executor", choices=EXECUTORS, default="thread",
+                        help="worker pool kind (default: thread)")
+    cquery.add_argument("--ids", action="store_true",
+                        help="print selected node ids per document")
+
+    cstats = collection_sub.add_parser("stats", help="print a collection's manifest")
+    cstats.add_argument("root", help="collection root directory")
     return parser
 
 
@@ -166,6 +221,78 @@ def _run_batch_query(database: Database, queries: list[str], language: str,
     return 0
 
 
+def _command_collection(args: argparse.Namespace) -> int:
+    if args.collection_command == "build":
+        return _command_collection_build(args)
+    if args.collection_command == "query":
+        return _command_collection_query(args)
+    return _command_collection_stats(args)
+
+
+def _command_collection_build(args: argparse.Namespace) -> int:
+    collection = Collection.open_or_create(args.root)
+    try:
+        for xml_path in args.xml:
+            # One manifest write at the end (in the finally, so documents
+            # added before an error are still registered), not one per file.
+            entry = collection.add_xml_file(xml_path, text_mode=args.text_mode,
+                                            save=False)
+            print(f"added {entry.doc_id}: {entry.n_nodes} nodes, "
+                  f"{entry.arb_bytes} .arb bytes ({xml_path})")
+    finally:
+        collection.save_manifest()
+    print(f"collection      : {len(collection)} documents, "
+          f"{collection.n_nodes} nodes total")
+    return 0
+
+
+def _command_collection_query(args: argparse.Namespace) -> int:
+    collection = Collection.open(args.root)
+    queries, language = _collect_queries(args)
+    if len(queries) > 1 and not args.batch:
+        raise ReproError("multiple queries given; use --batch to evaluate them together")
+    result = collection.query_many(
+        queries, language=language, query_predicate=args.query_predicate,
+        engine=args.engine, n_workers=args.workers, executor=args.executor,
+    )
+    statistics = result.statistics
+    print(f"collection      : {len(result)} documents, {statistics.nodes} nodes")
+    print(f"workers         : {result.n_workers} ({result.executor}, "
+          f"{result.n_shards} shards)")
+    for index, program in enumerate(result.programs):
+        predicate = program.query_predicates[0]
+        total = result.count(query_index=index)
+        print(f"  [{index}] {predicate}: {total} selected across the corpus")
+    if args.ids:
+        for doc in result:
+            for index in range(len(result.programs)):
+                nodes = doc.selected_nodes(query_index=index)
+                if nodes:
+                    print(f"      {doc.doc_id}[{index}]: "
+                          + " ".join(str(node) for node in nodes))
+    arb = result.arb_io
+    print(f".arb file I/O   : {arb.pages_read} pages / {arb.bytes_read} bytes read "
+          f"in {arb.seeks} linear scans (constant per document, any batch size)")
+    print(f"plan cache      : {statistics.plan_cache_hits} hits / "
+          f"{statistics.plan_cache_misses} misses across shards")
+    print(f"wall time       : {result.wall_seconds:.4f}s "
+          f"(evaluation time {statistics.total_seconds:.4f}s)")
+    return 0
+
+
+def _command_collection_stats(args: argparse.Namespace) -> int:
+    collection = Collection.open(args.root)
+    print(f"root         : {collection.root}")
+    print(f"name         : {collection.manifest.name}")
+    print(f"documents    : {len(collection)}")
+    print(f"total nodes  : {collection.n_nodes}")
+    print(f"total bytes  : {collection.manifest.total_arb_bytes}")
+    for entry in collection:
+        print(f"  {entry.doc_id:>20}: {entry.n_nodes} nodes, "
+              f"{entry.n_tags} tags, {entry.arb_bytes} .arb bytes")
+    return 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     database = ArbDatabase.open(args.database)
     print(f"base path    : {database.base_path}")
@@ -188,6 +315,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_query(args)
         if args.command == "stats":
             return _command_stats(args)
+        if args.command == "collection":
+            return _command_collection(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -1,0 +1,261 @@
+"""A managed corpus of on-disk Arb databases, queried in parallel.
+
+:class:`Collection` scales the single-document story of the paper out to a
+corpus: many `.arb` databases under one root directory, registered in a
+manifest, evaluated shard-parallel with the per-document I/O guarantees
+intact -- each document is still touched by a constant number of linear
+scans per batch, so corpus I/O grows linearly in corpus size and is
+independent of how many queries ride in one batch.
+
+Example
+-------
+>>> from repro.collection import Collection
+>>> collection = Collection.create(root)            # doctest: +SKIP
+>>> collection.add_document("<a><b/></a>", doc_id="one")    # doctest: +SKIP
+>>> result = collection.query("QUERY :- V.Label[b];", n_workers=4)  # doctest: +SKIP
+>>> result.count()                                   # doctest: +SKIP
+1
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Sequence
+
+from repro.collection.executor import run_collection_query
+from repro.collection.manifest import (
+    DOCUMENTS_DIR,
+    MANIFEST_NAME,
+    CollectionManifest,
+    DocumentEntry,
+    validate_doc_id,
+)
+from repro.collection.result import CollectionQueryResult
+from repro.errors import StorageError
+from repro.plan.cache import PlanCache, default_plan_cache
+from repro.storage.build import build_database
+from repro.tmnf.program import TMNFProgram
+
+__all__ = ["Collection"]
+
+
+class Collection:
+    """Many on-disk Arb databases under one root, one query surface.
+
+    ``plan_cache`` defaults to the process-wide shared cache, exactly like
+    :class:`~repro.engine.Database`; it is the keyed cache through which the
+    serial and thread executors share compiled plans (and their memoised
+    automata) across every shard of the corpus.
+    """
+
+    def __init__(
+        self,
+        root: str,
+        manifest: CollectionManifest,
+        *,
+        plan_cache: PlanCache | None = None,
+    ):
+        self.root = os.path.abspath(root)
+        self.manifest = manifest
+        self.plan_cache = plan_cache if plan_cache is not None else default_plan_cache()
+
+    # ------------------------------------------------------------------ #
+    # Opening / creating
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def create(cls, root: str, *, name: str = "",
+               plan_cache: PlanCache | None = None) -> "Collection":
+        """Create an empty collection at ``root`` (the directory may exist)."""
+        if os.path.exists(os.path.join(root, MANIFEST_NAME)):
+            raise StorageError(f"collection already exists: {root}")
+        os.makedirs(os.path.join(root, DOCUMENTS_DIR), exist_ok=True)
+        manifest = CollectionManifest(name=name or os.path.basename(os.path.abspath(root)))
+        collection = cls(root, manifest, plan_cache=plan_cache)
+        manifest.save(collection.root)
+        return collection
+
+    @classmethod
+    def open(cls, root: str, *, plan_cache: PlanCache | None = None) -> "Collection":
+        """Open an existing collection (its manifest must exist)."""
+        return cls(root, CollectionManifest.load(root), plan_cache=plan_cache)
+
+    @classmethod
+    def open_or_create(cls, root: str, *, name: str = "",
+                       plan_cache: PlanCache | None = None) -> "Collection":
+        if os.path.exists(os.path.join(root, MANIFEST_NAME)):
+            return cls.open(root, plan_cache=plan_cache)
+        return cls.create(root, name=name, plan_cache=plan_cache)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def add_document(self, source, *, doc_id: str | None = None,
+                     text_mode: str = "chars", save: bool = True) -> DocumentEntry:
+        """Build an `.arb` database from ``source`` and register it.
+
+        ``source`` is anything :func:`~repro.storage.build.build_database`
+        accepts (an XML string, an unranked tree, or an event stream).  The
+        database files are created under ``<root>/docs/`` and the manifest
+        is updated and saved atomically after the build succeeds.  Bulk
+        loaders pass ``save=False`` and call :meth:`save_manifest` once at
+        the end -- saving after every document would rewrite the (growing)
+        manifest n times.
+        """
+        if doc_id is None:
+            doc_id = f"doc-{len(self.manifest):05d}"
+        validate_doc_id(doc_id)
+        if doc_id in self.manifest:
+            raise StorageError(f"duplicate document id: {doc_id!r}")
+        base = os.path.join(DOCUMENTS_DIR, doc_id)
+        stats = build_database(source, os.path.join(self.root, base),
+                               text_mode=text_mode, name=doc_id)
+        entry = self.manifest.add(
+            DocumentEntry(
+                doc_id=doc_id,
+                base=base,
+                n_nodes=stats.total_nodes,
+                element_nodes=stats.element_nodes,
+                char_nodes=stats.char_nodes,
+                n_tags=stats.n_tags,
+                arb_bytes=stats.arb_file_size,
+            )
+        )
+        if save:
+            self.manifest.save(self.root)
+        return entry
+
+    def add_xml_file(self, path: str, *, doc_id: str | None = None,
+                     text_mode: str = "chars", save: bool = True) -> DocumentEntry:
+        """Add one XML file; the document id defaults to the file-name stem."""
+        if doc_id is None:
+            doc_id = os.path.splitext(os.path.basename(path))[0]
+        with open(path, "r", encoding="utf-8") as handle:
+            document = handle.read()
+        return self.add_document(document, doc_id=doc_id, text_mode=text_mode,
+                                 save=save)
+
+    def add_xml_files(self, paths: Sequence[str], *,
+                      text_mode: str = "chars") -> list[DocumentEntry]:
+        """Add many XML files with one manifest write at the end."""
+        entries = [
+            self.add_xml_file(path, text_mode=text_mode, save=False)
+            for path in paths
+        ]
+        self.save_manifest()
+        return entries
+
+    def save_manifest(self) -> str:
+        """Write the manifest to disk (atomic replace); returns its path."""
+        return self.manifest.save(self.root)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def documents(self) -> list[DocumentEntry]:
+        return list(self.manifest)
+
+    @property
+    def doc_ids(self) -> list[str]:
+        return self.manifest.doc_ids
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count of the corpus (from the manifest)."""
+        return self.manifest.total_nodes
+
+    def __len__(self) -> int:
+        return len(self.manifest)
+
+    def __iter__(self) -> Iterator[DocumentEntry]:
+        return iter(self.manifest)
+
+    def open_database(self, doc_id: str):
+        """A :class:`~repro.engine.Database` on one document, sharing the cache."""
+        from repro.engine import Database
+
+        entry = self.manifest.get(doc_id)
+        database = Database.open(entry.base_path(self.root))
+        database.plan_cache = self.plan_cache
+        return database
+
+    def stats(self) -> dict[str, object]:
+        """Corpus totals plus the shared plan cache's counters."""
+        return {
+            "name": self.manifest.name,
+            "documents": len(self.manifest),
+            "total_nodes": self.manifest.total_nodes,
+            "total_arb_bytes": self.manifest.total_arb_bytes,
+            **{f"plan_cache_{k}": v for k, v in self.plan_cache.stats().items()},
+        }
+
+    # ------------------------------------------------------------------ #
+    # Querying
+    # ------------------------------------------------------------------ #
+
+    def query(
+        self,
+        query: str | TMNFProgram,
+        *,
+        language: str = "tmnf",
+        query_predicate: str | tuple[str, ...] | None = None,
+        engine: str | None = None,
+        n_workers: int = 1,
+        executor: str = "thread",
+        collect_selected_nodes: bool = True,
+        temp_dir: str | None = None,
+    ) -> CollectionQueryResult:
+        """Evaluate one query over every document of the collection."""
+        return self.query_many(
+            [query],
+            language=language,
+            query_predicate=query_predicate,
+            engine=engine,
+            n_workers=n_workers,
+            executor=executor,
+            collect_selected_nodes=collect_selected_nodes,
+            temp_dir=temp_dir,
+        )
+
+    def query_many(
+        self,
+        queries: Sequence[str | TMNFProgram],
+        *,
+        language: str = "tmnf",
+        query_predicate: str | tuple[str, ...] | None = None,
+        engine: str | None = None,
+        n_workers: int = 1,
+        executor: str = "thread",
+        collect_selected_nodes: bool = True,
+        temp_dir: str | None = None,
+    ) -> CollectionQueryResult:
+        """Evaluate ``k`` queries over every document, sharded across workers.
+
+        Per document, the batch rides the lockstep disk evaluator (one
+        backward plus one forward scan of that document's `.arb` file,
+        independent of ``k``); a single query under ``engine=None``/"auto"
+        goes through the planner and may use the one-scan streaming backend.
+        See :mod:`repro.collection.executor` for the ``executor`` semantics.
+        """
+        return run_collection_query(
+            self.documents,
+            self.root,
+            list(queries),
+            cache=self.plan_cache,
+            language=language,
+            query_predicate=query_predicate,
+            engine=engine,
+            n_workers=n_workers,
+            executor=executor,
+            collect_selected_nodes=collect_selected_nodes,
+            temp_dir=temp_dir,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Collection({self.manifest.name!r}, {len(self.manifest)} documents, "
+            f"{self.manifest.total_nodes} nodes)"
+        )

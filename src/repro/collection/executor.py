@@ -1,0 +1,344 @@
+"""Sharded, parallel evaluation of query batches over a document corpus.
+
+The coordinator (:func:`run_collection_query`) partitions the documents of a
+collection into one shard per worker (greedy longest-processing-time on the
+manifest's node counts, so shards are balanced by document size, not count)
+and evaluates every shard on a pool:
+
+``serial``
+    in the calling thread, one document after another (the reference path);
+``thread``
+    a :class:`~concurrent.futures.ThreadPoolExecutor`.  All workers share
+    the collection's keyed :class:`~repro.plan.cache.PlanCache`, so a plan
+    compiled for the first document is a cache *hit* for every other shard
+    and its memoised automaton tables are reused corpus-wide.  Because a
+    plan's evaluator is single-threaded by design, workers serialise
+    executions per plan with one lock per plan (acquired in a global order,
+    so k-plan batches cannot deadlock).  Since every shard of one call runs
+    the *same* plan set, this serialises the evaluations of a collection
+    query almost completely -- which CPython's GIL would do to the
+    pure-Python evaluation anyway.  Choose threads for corpus-wide plan
+    sharing with a thread-safe API, not for throughput.
+``process``
+    a :class:`~concurrent.futures.ProcessPoolExecutor` for real CPU
+    parallelism -- the executor that actually scales throughput with
+    workers.  Worker processes cannot share in-memory plans, so each shard
+    compiles into a process-local cache: plans are shared across the
+    documents *within* a shard, and the coordinator's shared cache still
+    serves repeated collection-level calls.
+
+Whatever the pool, each document is evaluated through the plan layer: a
+batch (or a forced ``disk`` engine) runs on
+:func:`~repro.plan.batch.evaluate_batch_on_disk` -- one backward plus one
+forward scan of the document's `.arb` file for the *whole* batch -- while a
+single query under ``auto`` goes through
+:func:`~repro.plan.planner.choose_backend`, which e.g. routes a streamable
+XPath path to the one-scan streaming backend.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import partial
+from typing import TYPE_CHECKING, Sequence
+
+from repro.collection.manifest import DocumentEntry
+from repro.collection.result import CollectionQueryResult, DocumentQueryResult
+from repro.core.two_phase import EvaluationStatistics
+from repro.errors import EvaluationError
+from repro.plan.batch import evaluate_batch_on_disk
+from repro.plan.cache import PlanCache
+from repro.plan.planner import AUTO_ENGINE, choose_backend
+from repro.storage.paging import IOStatistics
+from repro.tmnf.program import TMNFProgram
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plan.plan import QueryPlan
+
+__all__ = ["EXECUTORS", "partition_documents", "run_collection_query"]
+
+#: Supported worker-pool kinds.
+EXECUTORS = ("serial", "thread", "process")
+
+
+# ---------------------------------------------------------------------- #
+# Sharding
+# ---------------------------------------------------------------------- #
+
+
+def partition_documents(
+    entries: Sequence[DocumentEntry], n_shards: int
+) -> list[list[DocumentEntry]]:
+    """Split ``entries`` into at most ``n_shards`` balanced shards.
+
+    Greedy LPT: documents are placed largest-first onto the currently
+    lightest shard (by node count), which keeps per-shard work within a
+    factor ~4/3 of optimal.  Deterministic for a given manifest.
+    """
+    if n_shards < 1:
+        raise EvaluationError("a collection query needs at least one worker")
+    n_shards = min(n_shards, len(entries))
+    shards: list[list[DocumentEntry]] = [[] for _ in range(n_shards)]
+    loads = [0] * n_shards
+    ordered = sorted(entries, key=lambda entry: (-entry.n_nodes, entry.doc_id))
+    for entry in ordered:
+        lightest = loads.index(min(loads))
+        shards[lightest].append(entry)
+        loads[lightest] += max(entry.n_nodes, 1)
+    return shards
+
+
+# ---------------------------------------------------------------------- #
+# Per-plan execution locks (thread executor only)
+# ---------------------------------------------------------------------- #
+
+# A plan's evaluator memoises into shared tables and carries per-run
+# statistics, so two threads must never execute one plan concurrently.  The
+# registry hands out one lock per live plan without touching QueryPlan
+# itself (keeping plans picklable for the process executor).
+_LOCK_REGISTRY_GUARD = threading.Lock()
+_PLAN_LOCKS: "weakref.WeakKeyDictionary[QueryPlan, threading.Lock]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _lock_for(plan: "QueryPlan") -> threading.Lock:
+    with _LOCK_REGISTRY_GUARD:
+        lock = _PLAN_LOCKS.get(plan)
+        if lock is None:
+            lock = threading.Lock()
+            _PLAN_LOCKS[plan] = lock
+        return lock
+
+
+@contextmanager
+def _plans_locked(plans: Sequence["QueryPlan"]):
+    """Hold the execution locks of all distinct plans, in a global order."""
+    distinct: dict[int, "QueryPlan"] = {id(plan): plan for plan in plans}
+    # Sorting by id gives every thread the same acquisition order, so two
+    # workers locking overlapping plan sets cannot deadlock.
+    locks = [_lock_for(distinct[key]) for key in sorted(distinct)]
+    for lock in locks:
+        lock.acquire()
+    try:
+        yield
+    finally:
+        for lock in reversed(locks):
+            lock.release()
+
+
+# ---------------------------------------------------------------------- #
+# Shard evaluation (runs inside a worker)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _ShardTask:
+    """Everything a worker needs; plain data so the process pool can pickle it."""
+
+    shard_index: int
+    documents: list[tuple[str, str]]  # (doc_id, absolute base path)
+    queries: list[str | TMNFProgram]
+    language: str = "tmnf"
+    query_predicate: str | tuple[str, ...] | None = None
+    engine: str | None = None
+    collect_selected_nodes: bool = True
+    temp_dir: str | None = None
+
+
+@dataclass
+class _ShardOutcome:
+    shard_index: int
+    documents: list[DocumentQueryResult] = field(default_factory=list)
+
+
+def _use_lockstep_batch(plans: Sequence["QueryPlan"], engine: str | None) -> bool:
+    """Whether the document runs on the single-scan-pair batch evaluator."""
+    if engine == "disk":
+        return True
+    if engine in (None, AUTO_ENGINE):
+        # A single streamable query is the planner's territory (it can halve
+        # the I/O with the one-scan streaming backend); everything else
+        # batches: one backward + one forward scan however many queries.
+        return not (len(plans) == 1 and plans[0].streaming_query is not None)
+    return False
+
+
+def evaluate_shard(task: _ShardTask, cache: PlanCache | None = None) -> _ShardOutcome:
+    """Evaluate every document of one shard, sequentially.
+
+    ``cache`` is the shared collection cache for the serial/thread executors;
+    the process executor passes ``None`` and gets a fresh process-local cache
+    whose plans are still reused across the shard's documents.
+    """
+    from repro.engine import Database  # local import: keep module import light
+
+    if cache is None:
+        cache = PlanCache()
+    outcome = _ShardOutcome(shard_index=task.shard_index)
+    for doc_id, base_path in task.documents:
+        database = Database.open(base_path)
+        database.plan_cache = cache
+        try:
+            outcome.documents.append(
+                _evaluate_document(doc_id, database, task, cache)
+            )
+        finally:
+            database.close()
+    return outcome
+
+
+def _evaluate_document(
+    doc_id: str, database, task: _ShardTask, cache: PlanCache
+) -> DocumentQueryResult:
+    planned = [
+        cache.lookup(query, language=task.language, query_predicate=task.query_predicate)
+        for query in task.queries
+    ]
+    plans = [plan for plan, _ in planned]
+    with _plans_locked(plans):
+        if _use_lockstep_batch(plans, task.engine):
+            batch = evaluate_batch_on_disk(
+                plans,
+                database.disk,
+                temp_dir=task.temp_dir,
+                collect_selected_nodes=task.collect_selected_nodes,
+            )
+            results = list(batch.results)
+            arb_io, state_io = batch.arb_io, batch.state_io
+            state_file_bytes = batch.state_file_bytes
+            backend = batch.backend
+        else:
+            results = []
+            arb_io, state_io = IOStatistics(), IOStatistics()
+            state_file_bytes = 0
+            for plan in plans:
+                chosen = choose_backend(plan, database, engine=task.engine)
+                result = chosen.execute(plan, database, temp_dir=task.temp_dir)
+                if not task.collect_selected_nodes:
+                    result.selected = {pred: [] for pred in result.selected}
+                if result.io is not None:
+                    # memory/fixpoint report zero I/O; streaming reads only
+                    # the `.arb` file (one forward scan).
+                    arb_io = arb_io.merge(result.io)
+                results.append(result)
+            names = {result.backend for result in results}
+            backend = names.pop() if len(names) == 1 else "mixed"
+    for (plan, hit), result in zip(planned, results):
+        result.statistics.plan_cache_hits = int(hit)
+        result.statistics.plan_cache_misses = int(not hit)
+    return DocumentQueryResult(
+        doc_id=doc_id,
+        shard_index=task.shard_index,
+        results=results,
+        arb_io=arb_io,
+        state_io=state_io,
+        state_file_bytes=state_file_bytes,
+        backend=backend,
+        n_nodes=database.n_nodes,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Coordinator
+# ---------------------------------------------------------------------- #
+
+
+def run_collection_query(
+    entries: Sequence[DocumentEntry],
+    root: str,
+    queries: Sequence[str | TMNFProgram],
+    *,
+    cache: PlanCache,
+    language: str = "tmnf",
+    query_predicate: str | tuple[str, ...] | None = None,
+    engine: str | None = None,
+    n_workers: int = 1,
+    executor: str = "thread",
+    collect_selected_nodes: bool = True,
+    temp_dir: str | None = None,
+) -> CollectionQueryResult:
+    """Evaluate ``queries`` over every document, sharded across ``n_workers``."""
+    if not queries:
+        raise EvaluationError("a collection query needs at least one query")
+    if not entries:
+        raise EvaluationError("the collection has no documents")
+    if executor not in EXECUTORS:
+        names = ", ".join(EXECUTORS)
+        raise EvaluationError(f"unknown executor {executor!r} (use one of: {names})")
+    if n_workers < 1:
+        raise EvaluationError("a collection query needs at least one worker")
+
+    # Compile (or look up) every query once through the collection's shared
+    # keyed cache.  For the serial/thread executors the workers then hit
+    # these very plans; for the process executor this records the
+    # collection-level hit/miss and provides the programs of the result.
+    planned = [
+        cache.lookup(query, language=language, query_predicate=query_predicate)
+        for query in queries
+    ]
+    programs = [plan.program for plan, _ in planned]
+
+    shards = partition_documents(entries, n_workers)
+    tasks = [
+        _ShardTask(
+            shard_index=index,
+            documents=[(entry.doc_id, entry.base_path(root)) for entry in shard],
+            queries=list(queries),
+            language=language,
+            query_predicate=query_predicate,
+            engine=engine,
+            collect_selected_nodes=collect_selected_nodes,
+            temp_dir=temp_dir,
+        )
+        for index, shard in enumerate(shards)
+    ]
+
+    started = time.perf_counter()
+    if executor == "serial" or len(tasks) == 1 and executor == "thread":
+        outcomes = [evaluate_shard(task, cache) for task in tasks]
+    elif executor == "thread":
+        with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
+            outcomes = list(pool.map(partial(evaluate_shard, cache=cache), tasks))
+    else:  # process
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            outcomes = list(pool.map(evaluate_shard, tasks))
+    wall_seconds = time.perf_counter() - started
+
+    by_doc = {
+        doc.doc_id: doc for outcome in outcomes for doc in outcome.documents
+    }
+    documents = [by_doc[entry.doc_id] for entry in entries]
+
+    aggregate = EvaluationStatistics()
+    arb_io = IOStatistics()
+    state_io = IOStatistics()
+    for doc in documents:
+        arb_io = arb_io.merge(doc.arb_io)
+        state_io = state_io.merge(doc.state_io)
+        aggregate.nodes += doc.n_nodes
+        for result in doc.results:
+            stats = result.statistics
+            aggregate.bu_seconds += stats.bu_seconds
+            aggregate.td_seconds += stats.td_seconds
+            aggregate.bu_transitions += stats.bu_transitions
+            aggregate.td_transitions += stats.td_transitions
+            aggregate.selected += stats.selected
+            aggregate.plan_cache_hits += stats.plan_cache_hits
+            aggregate.plan_cache_misses += stats.plan_cache_misses
+    return CollectionQueryResult(
+        programs=programs,
+        documents=documents,
+        statistics=aggregate,
+        arb_io=arb_io,
+        state_io=state_io,
+        wall_seconds=wall_seconds,
+        n_workers=min(n_workers, len(tasks)),
+        n_shards=len(tasks),
+        executor=executor,
+    )

@@ -1,0 +1,148 @@
+"""The collection manifest: which documents live under a collection root.
+
+A :class:`~repro.collection.collection.Collection` owns a directory tree::
+
+    <root>/collection.json          the manifest (this module)
+    <root>/docs/<doc_id>.arb        one Arb database per document
+    <root>/docs/<doc_id>.lab
+    <root>/docs/<doc_id>.meta
+
+The manifest is the single source of truth for membership and ordering: a
+:class:`DocumentEntry` per document records its id, the relative base path
+of its `.arb` files and the size/label statistics captured at build time, so
+the collection can plan shard assignments (by node count) and report corpus
+totals without opening any database.  Entries keep their insertion order,
+which is the canonical document order of every query result.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Iterator
+
+from repro.errors import StorageError
+
+__all__ = ["DocumentEntry", "CollectionManifest", "MANIFEST_NAME", "MANIFEST_VERSION"]
+
+#: File name of the manifest inside a collection root directory.
+MANIFEST_NAME = "collection.json"
+
+#: Format version written into new manifests.
+MANIFEST_VERSION = 1
+
+#: Sub-directory of the collection root holding the per-document databases.
+DOCUMENTS_DIR = "docs"
+
+
+@dataclass
+class DocumentEntry:
+    """One document of a collection, as recorded in the manifest."""
+
+    doc_id: str
+    base: str  # base path of the .arb/.lab/.meta files, relative to the root
+    n_nodes: int = 0
+    element_nodes: int = 0
+    char_nodes: int = 0
+    n_tags: int = 0
+    arb_bytes: int = 0
+
+    def base_path(self, root: str) -> str:
+        """Absolute base path of the document's `.arb` files."""
+        return os.path.join(root, self.base)
+
+
+def validate_doc_id(doc_id: str) -> str:
+    """Check that ``doc_id`` is usable as a file-name stem; return it."""
+    if not doc_id:
+        raise StorageError("document id must not be empty")
+    if doc_id.startswith("."):
+        raise StorageError(f"document id must not start with '.': {doc_id!r}")
+    forbidden = {os.sep, "/", "\\", "\0"}
+    if any(ch in doc_id for ch in forbidden):
+        raise StorageError(f"document id must not contain path separators: {doc_id!r}")
+    return doc_id
+
+
+@dataclass
+class CollectionManifest:
+    """Ordered registry of the documents of one collection."""
+
+    name: str = ""
+    version: int = MANIFEST_VERSION
+    _entries: dict[str, DocumentEntry] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Membership
+    # ------------------------------------------------------------------ #
+
+    def add(self, entry: DocumentEntry) -> DocumentEntry:
+        validate_doc_id(entry.doc_id)
+        if entry.doc_id in self._entries:
+            raise StorageError(f"duplicate document id: {entry.doc_id!r}")
+        self._entries[entry.doc_id] = entry
+        return entry
+
+    def get(self, doc_id: str) -> DocumentEntry:
+        entry = self._entries.get(doc_id)
+        if entry is None:
+            raise StorageError(f"no such document in collection: {doc_id!r}")
+        return entry
+
+    def __contains__(self, doc_id: object) -> bool:
+        return doc_id in self._entries
+
+    def __iter__(self) -> Iterator[DocumentEntry]:
+        return iter(self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def doc_ids(self) -> list[str]:
+        return list(self._entries)
+
+    @property
+    def total_nodes(self) -> int:
+        return sum(entry.n_nodes for entry in self._entries.values())
+
+    @property
+    def total_arb_bytes(self) -> int:
+        return sum(entry.arb_bytes for entry in self._entries.values())
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, root: str) -> str:
+        """Write the manifest to ``<root>/collection.json`` atomically."""
+        path = os.path.join(root, MANIFEST_NAME)
+        payload = {
+            "version": self.version,
+            "name": self.name,
+            "documents": [asdict(entry) for entry in self._entries.values()],
+        }
+        temp_path = path + ".tmp"
+        with open(temp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(temp_path, path)
+        return path
+
+    @classmethod
+    def load(cls, root: str) -> "CollectionManifest":
+        path = os.path.join(root, MANIFEST_NAME)
+        if not os.path.exists(path):
+            raise StorageError(f"not a collection (no {MANIFEST_NAME}): {root}")
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = int(payload.get("version", 0))
+        if version != MANIFEST_VERSION:
+            raise StorageError(
+                f"{path}: unsupported manifest version {version} "
+                f"(this build reads version {MANIFEST_VERSION})"
+            )
+        manifest = cls(name=payload.get("name", ""), version=version)
+        for raw in payload.get("documents", []):
+            manifest.add(DocumentEntry(**raw))
+        return manifest

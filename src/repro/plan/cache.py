@@ -20,15 +20,20 @@ The module-level :func:`default_plan_cache` is shared by every
 :class:`~repro.engine.Database` that is not given an explicit cache, which
 is what makes plans survive across documents.
 
-Neither the cache nor the plans it hands out are thread-safe: a plan's
-evaluator memoises into shared hash tables and carries per-run statistics,
-so concurrent executions of the same plan would corrupt both.  Callers that
-evaluate from several threads must give each thread its own
-:class:`PlanCache` (e.g. one per :class:`~repro.engine.Database`).
+Cache *lookups* are thread-safe (an internal lock serialises the bookkeeping
+of the two key tables and the LRU order), so one keyed cache can be shared
+by the worker pool of a :class:`~repro.collection.Collection` and plan-cache
+hits accumulate across shards.  The **plans** a lookup hands out are not:
+a plan's evaluator memoises into shared hash tables and carries per-run
+statistics, so two threads must never *execute* the same plan concurrently.
+Multi-threaded callers must serialise executions per plan (the collection
+executor does this with one lock per plan, see
+:mod:`repro.collection.executor`) or give each thread its own cache.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 from repro.plan.plan import QueryPlan, compile_query, structural_key_of
@@ -49,6 +54,7 @@ class PlanCache:
         self.max_plans = max_plans
         self._plans: OrderedDict[tuple, QueryPlan] = OrderedDict()
         self._aliases: dict[tuple, tuple] = {}  # source key -> structural key
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -63,35 +69,36 @@ class PlanCache:
     ) -> tuple[QueryPlan, bool]:
         """Return ``(plan, hit)`` for ``query``, compiling it on a miss."""
         source_key = _source_key(query, language, query_predicate)
-        if source_key is not None:
-            structural = self._aliases.get(source_key)
-            if structural is not None and structural in self._plans:
+        with self._lock:
+            if source_key is not None:
+                structural = self._aliases.get(source_key)
+                if structural is not None and structural in self._plans:
+                    self._plans.move_to_end(structural)
+                    self.hits += 1
+                    return self._plans[structural], True
+            # Source miss: compile the program, then try to unify with a
+            # structurally equal plan before paying for a fresh evaluator.
+            program = compile_query(query, language=language, query_predicate=query_predicate)
+            structural = structural_key_of(program)
+            cached = self._plans.get(structural)
+            if cached is not None:
                 self._plans.move_to_end(structural)
+                if source_key is not None:
+                    self._aliases[source_key] = structural
+                    self._bound_aliases()
                 self.hits += 1
-                return self._plans[structural], True
-        # Source miss: compile the program, then try to unify with a
-        # structurally equal plan before paying for a fresh evaluator.
-        program = compile_query(query, language=language, query_predicate=query_predicate)
-        structural = structural_key_of(program)
-        cached = self._plans.get(structural)
-        if cached is not None:
-            self._plans.move_to_end(structural)
+                return cached, True
+            plan = QueryPlan(
+                program,
+                source=query if isinstance(query, str) else None,
+                language=language if isinstance(query, str) else "tmnf",
+            )
+            self._plans[structural] = plan
             if source_key is not None:
                 self._aliases[source_key] = structural
-                self._bound_aliases()
-            self.hits += 1
-            return cached, True
-        plan = QueryPlan(
-            program,
-            source=query if isinstance(query, str) else None,
-            language=language if isinstance(query, str) else "tmnf",
-        )
-        self._plans[structural] = plan
-        if source_key is not None:
-            self._aliases[source_key] = structural
-        self.misses += 1
-        self._evict()
-        return plan, False
+            self.misses += 1
+            self._evict()
+            return plan, False
 
     def get_cached(
         self,
@@ -104,10 +111,11 @@ class PlanCache:
         source_key = _source_key(query, language, query_predicate)
         if source_key is None:
             return None
-        structural = self._aliases.get(source_key)
-        if structural is None:
-            return None
-        return self._plans.get(structural)
+        with self._lock:
+            structural = self._aliases.get(source_key)
+            if structural is None:
+                return None
+            return self._plans.get(structural)
 
     # ------------------------------------------------------------------ #
 
@@ -132,24 +140,28 @@ class PlanCache:
 
     def clear(self) -> None:
         """Drop every plan and reset the hit/miss counters."""
-        self._plans.clear()
-        self._aliases.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._plans.clear()
+            self._aliases.clear()
+            self.hits = 0
+            self.misses = 0
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def __contains__(self, query: object) -> bool:
         if isinstance(query, QueryPlan):
-            return query.structural_key in self._plans
+            with self._lock:
+                return query.structural_key in self._plans
         if isinstance(query, (str, TMNFProgram)):
             return self.get_cached(query) is not None
         return False
 
     def stats(self) -> dict[str, int]:
         """Cumulative counters, e.g. for benchmark reports."""
-        return {"plans": len(self._plans), "hits": self.hits, "misses": self.misses}
+        with self._lock:
+            return {"plans": len(self._plans), "hits": self.hits, "misses": self.misses}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -33,14 +33,15 @@ __all__ = ["QueryPlan", "compile_query", "structural_key_of"]
 def structural_key_of(program: TMNFProgram) -> tuple:
     """Key identifying a program up to structural equality.
 
-    Two queries with the same internal (caterpillar-expanded) rules and the
-    same query predicates share one plan, whatever their surface spelling or
-    source language (rule order is irrelevant to the least model, hence the
-    sort).
+    Two queries with the same internal (caterpillar-expanded) rule *set* and
+    the same query predicates share one plan, whatever their surface spelling
+    or source language.  Neither rule order nor rule multiplicity affects the
+    least model, so the rules are sorted and de-duplicated: a program that
+    states a rule twice keys identically to one that states it once.
     """
     return (
         program.query_predicates,
-        tuple(sorted(str(rule) for rule in program.internal_rules)),
+        tuple(sorted({str(rule) for rule in program.internal_rules})),
     )
 
 

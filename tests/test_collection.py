@@ -1,0 +1,242 @@
+"""The sharded document-collection layer: manifest, executors, invariants.
+
+The acceptance test of the layer is here: a collection of >= 8 documents
+evaluated with 4 workers must return exactly what sequential per-document
+evaluation returns, and the per-document (per-shard) `.arb` page counts must
+be independent of how many queries ride in one batch.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import Collection, Database
+from repro.collection import CollectionManifest, DocumentEntry, partition_documents
+from repro.collection.manifest import validate_doc_id
+from repro.errors import EvaluationError, StorageError
+from repro.plan import PlanCache
+from tests.conftest import random_unranked_tree
+
+QUERIES = [
+    "QUERY :- V.Label[a];",
+    "QUERY :- V.Label[b];",
+    "QUERY :- V.Root;",
+    "QUERY :- V.Label[c].invFirstChild;",
+]
+
+
+@pytest.fixture()
+def corpus(tmp_path):
+    """A collection of 10 random documents with a private plan cache."""
+    rng = random.Random(20030915)
+    collection = Collection.create(str(tmp_path / "corpus"), name="test-corpus",
+                                   plan_cache=PlanCache())
+    for index in range(10):
+        tree = random_unranked_tree(rng, max_nodes=40)
+        collection.add_document(tree, doc_id=f"doc-{index:02d}")
+    return collection
+
+
+def sequential_reference(collection, query):
+    """Per-document answers via plain sequential Database.query on disk."""
+    reference = {}
+    for doc_id in collection.doc_ids:
+        database = collection.open_database(doc_id)
+        reference[doc_id] = database.query(query, engine="disk").selected_nodes()
+        database.close()
+    return reference
+
+
+# --------------------------------------------------------------------------- #
+# Acceptance: parallel == sequential, per-shard I/O independent of k
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread", "process"])
+def test_parallel_collection_equals_sequential_per_document(corpus, executor):
+    assert len(corpus) >= 8
+    result = corpus.query_many(QUERIES, n_workers=4, executor=executor)
+    assert len(result) == len(corpus)
+    for index, query in enumerate(QUERIES):
+        reference = sequential_reference(corpus, query)
+        assert result.selected_nodes(query_index=index) == reference
+
+
+def test_per_document_pages_read_independent_of_batch_size(corpus):
+    """The per-shard scan-count invariant, verified on aggregated statistics."""
+    single = corpus.query_many(QUERIES[:1], engine="disk", n_workers=4)
+    full = corpus.query_many(QUERIES, engine="disk", n_workers=4)
+    for doc_id in corpus.doc_ids:
+        one, many = single.document(doc_id), full.document(doc_id)
+        assert one.arb_io.pages_read == many.arb_io.pages_read
+        assert one.arb_io.seeks == many.arb_io.seeks == 2  # one scan pair
+        # The composite state file is what grows with k instead.
+        assert many.state_file_bytes == len(QUERIES) * one.state_file_bytes
+    # Aggregates agree with the per-document counters.
+    assert full.arb_io.pages_read == sum(
+        doc.arb_io.pages_read for doc in full.documents
+    )
+    assert full.arb_io.seeks == 2 * len(corpus)
+    assert full.statistics.nodes == corpus.n_nodes
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_wall_clock_statistics_recorded(corpus, executor):
+    result = corpus.query(QUERIES[0], n_workers=4, executor=executor)
+    assert result.wall_seconds > 0
+    assert result.n_workers == 4
+    assert result.n_shards == 4
+    assert result.executor == executor
+
+
+# --------------------------------------------------------------------------- #
+# Plan-cache sharing across shards
+# --------------------------------------------------------------------------- #
+
+
+def test_thread_workers_share_plans_through_the_keyed_cache(corpus):
+    corpus.plan_cache = PlanCache()
+    result = corpus.query_many(QUERIES, n_workers=4, executor="thread")
+    # The coordinator compiles each query once; every per-document evaluation
+    # in every shard is then served by the shared keyed cache.
+    assert corpus.plan_cache.misses == len(QUERIES)
+    assert result.statistics.plan_cache_hits == len(QUERIES) * len(corpus)
+    assert result.statistics.plan_cache_misses == 0
+    # A second collection-level call stays all-hit.
+    again = corpus.query_many(QUERIES, n_workers=4, executor="thread")
+    assert corpus.plan_cache.misses == len(QUERIES)
+    assert again.statistics.plan_cache_misses == 0
+
+
+def test_process_workers_share_plans_within_each_shard(corpus):
+    corpus.plan_cache = PlanCache()
+    result = corpus.query_many(QUERIES, n_workers=4, executor="process")
+    # Process-local caches: the first document of each shard compiles, the
+    # shard's remaining documents hit.
+    expected_misses = len(QUERIES) * result.n_shards
+    assert result.statistics.plan_cache_misses == expected_misses
+    assert result.statistics.plan_cache_hits == (
+        len(QUERIES) * len(corpus) - expected_misses
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Planner integration
+# --------------------------------------------------------------------------- #
+
+
+def test_single_streamable_xpath_uses_the_streaming_backend(corpus):
+    result = corpus.query("//a", language="xpath", n_workers=2)
+    for doc in result:
+        assert doc.backend == "streaming"
+        assert doc.arb_io.seeks == 1  # one forward scan, no state file
+        assert doc.state_file_bytes == 0
+    reference = {
+        doc_id: corpus.open_database(doc_id).query(
+            "//a", language="xpath", engine="memory"
+        ).selected_nodes()
+        for doc_id in corpus.doc_ids
+    }
+    assert result.selected_nodes() == reference
+
+
+def test_forced_memory_engine(corpus):
+    result = corpus.query(QUERIES[0], engine="memory", n_workers=2)
+    assert all(doc.backend == "memory" for doc in result)
+    assert result.selected_nodes() == sequential_reference(corpus, QUERIES[0])
+
+
+# --------------------------------------------------------------------------- #
+# Sharding
+# --------------------------------------------------------------------------- #
+
+
+def test_partition_documents_balances_by_node_count():
+    entries = [
+        DocumentEntry(doc_id=f"d{i}", base=f"docs/d{i}", n_nodes=n)
+        for i, n in enumerate([100, 90, 40, 30, 20, 10])
+    ]
+    shards = partition_documents(entries, 2)
+    assert len(shards) == 2
+    loads = [sum(entry.n_nodes for entry in shard) for shard in shards]
+    assert sum(loads) == 290
+    assert max(loads) - min(loads) <= 30  # LPT keeps the split near-even
+    # Never more shards than documents.
+    assert len(partition_documents(entries[:2], 8)) == 2
+    with pytest.raises(EvaluationError):
+        partition_documents(entries, 0)
+
+
+# --------------------------------------------------------------------------- #
+# Manifest and membership
+# --------------------------------------------------------------------------- #
+
+
+def test_manifest_round_trip(corpus):
+    reopened = Collection.open(corpus.root, plan_cache=PlanCache())
+    assert reopened.doc_ids == corpus.doc_ids
+    assert reopened.n_nodes == corpus.n_nodes
+    for original, loaded in zip(corpus.documents, reopened.documents):
+        assert original == loaded
+    # The reopened collection answers identically.
+    assert (
+        reopened.query(QUERIES[0], n_workers=2).selected_nodes()
+        == corpus.query(QUERIES[0], n_workers=2).selected_nodes()
+    )
+
+
+def test_create_refuses_existing_collection(corpus):
+    with pytest.raises(StorageError):
+        Collection.create(corpus.root)
+    assert len(Collection.open_or_create(corpus.root)) == len(corpus)
+
+
+def test_duplicate_and_invalid_document_ids(corpus):
+    with pytest.raises(StorageError):
+        corpus.add_document("<a/>", doc_id="doc-00")
+    for bad in ("", ".hidden", "a/b", "a\\b"):
+        with pytest.raises(StorageError):
+            validate_doc_id(bad)
+
+
+def test_add_xml_files_saves_the_manifest_once(tmp_path):
+    paths = []
+    for index in range(4):
+        path = tmp_path / f"bulk{index}.xml"
+        path.write_text(f"<a><b/>{'<c/>' * index}</a>")
+        paths.append(str(path))
+    collection = Collection.create(str(tmp_path / "bulk"), plan_cache=PlanCache())
+    entries = collection.add_xml_files(paths)
+    assert [entry.doc_id for entry in entries] == [f"bulk{i}" for i in range(4)]
+    reopened = Collection.open(collection.root, plan_cache=PlanCache())
+    assert reopened.doc_ids == collection.doc_ids
+
+
+def test_open_requires_manifest(tmp_path):
+    with pytest.raises(StorageError):
+        Collection.open(str(tmp_path / "nowhere"))
+    with pytest.raises(StorageError):
+        CollectionManifest.load(str(tmp_path))
+
+
+def test_query_validation(corpus, tmp_path):
+    with pytest.raises(EvaluationError):
+        corpus.query_many([], n_workers=2)
+    with pytest.raises(EvaluationError):
+        corpus.query(QUERIES[0], executor="rocket")
+    with pytest.raises(EvaluationError):
+        corpus.query(QUERIES[0], n_workers=0)
+    empty = Collection.create(str(tmp_path / "empty"), plan_cache=PlanCache())
+    with pytest.raises(EvaluationError):
+        empty.query(QUERIES[0])
+
+
+def test_open_database_shares_the_collection_cache(corpus):
+    database = corpus.open_database("doc-00")
+    assert isinstance(database, Database)
+    assert database.plan_cache is corpus.plan_cache
+    stats = corpus.stats()
+    assert stats["documents"] == len(corpus)
+    assert stats["total_nodes"] == corpus.n_nodes

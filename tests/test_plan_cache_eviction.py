@@ -1,0 +1,173 @@
+"""LRU eviction order and cache-key stability of the keyed PlanCache.
+
+The cache's two key levels (source text, structural form) must behave as an
+LRU over the *structural* entries: touching a plan through any spelling or
+through a program object refreshes it, and eviction drops the least recently
+used plan together with every source alias that points at it.  Structural
+keys must be stable under structurally-equal-but-distinct query ASTs --
+respellings, rule reordering and rule duplication all map to one plan.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.plan.cache import PlanCache
+from repro.plan.plan import structural_key_of
+from repro.tmnf.ast import LocalRule
+from repro.tmnf.program import TMNFProgram
+
+QUERY_A = "QUERY :- V.Label[a];"
+QUERY_B = "QUERY :- V.Label[b];"
+QUERY_C = "QUERY :- V.Label[c];"
+
+
+# --------------------------------------------------------------------------- #
+# Cache-key stability under structurally equal but distinct ASTs
+# --------------------------------------------------------------------------- #
+
+
+def test_respelled_query_shares_one_plan():
+    cache = PlanCache()
+    plan, hit = cache.lookup(QUERY_A)
+    respelled, hit2 = cache.lookup("QUERY  :-  V.Label[a] ;")
+    assert not hit and hit2
+    assert respelled is plan
+    assert len(cache) == 1
+
+
+def test_rule_order_does_not_change_the_key():
+    first = LocalRule(head="X0", body=("Label[a]",))
+    second = LocalRule(head="X1", body=("Root",))
+    ordered = TMNFProgram.from_rules([first, second], query_predicates="X0")
+    reordered = TMNFProgram.from_rules([second, first], query_predicates="X0")
+    assert structural_key_of(ordered) == structural_key_of(reordered)
+    cache = PlanCache()
+    plan, _ = cache.lookup(ordered)
+    shared, hit = cache.lookup(reordered)
+    assert hit and shared is plan
+
+
+def test_duplicated_rule_does_not_change_the_key():
+    """Rule multiplicity is irrelevant to the least model, so also to the key."""
+    rule = LocalRule(head="X0", body=("Label[a]",))
+    once = TMNFProgram.from_rules([rule], query_predicates="X0")
+    twice = TMNFProgram.from_rules([rule, rule], query_predicates="X0")
+    assert structural_key_of(once) == structural_key_of(twice)
+    cache = PlanCache()
+    plan, _ = cache.lookup(once)
+    shared, hit = cache.lookup(twice)
+    assert hit and shared is plan
+    assert len(cache) == 1
+
+
+def test_different_query_predicates_get_different_plans():
+    rule_a = LocalRule(head="X0", body=("Label[a]",))
+    rule_b = LocalRule(head="X1", body=("Label[a]",))
+    program_a = TMNFProgram.from_rules([rule_a, rule_b], query_predicates="X0")
+    program_b = TMNFProgram.from_rules([rule_a, rule_b], query_predicates="X1")
+    assert structural_key_of(program_a) != structural_key_of(program_b)
+
+
+# --------------------------------------------------------------------------- #
+# LRU eviction order
+# --------------------------------------------------------------------------- #
+
+
+def test_eviction_drops_the_least_recently_used_plan():
+    cache = PlanCache(max_plans=2)
+    plan_a, _ = cache.lookup(QUERY_A)
+    plan_b, _ = cache.lookup(QUERY_B)
+    cache.lookup(QUERY_A)  # touch A: B is now the LRU entry
+    plan_c, _ = cache.lookup(QUERY_C)
+    assert plan_a in cache and plan_c in cache
+    assert plan_b not in cache
+    assert len(cache) == 2
+
+
+def test_insertion_order_evicts_without_touches():
+    cache = PlanCache(max_plans=2)
+    plan_a, _ = cache.lookup(QUERY_A)
+    cache.lookup(QUERY_B)
+    cache.lookup(QUERY_C)
+    assert plan_a not in cache  # oldest, never touched again
+
+
+def test_structural_hit_refreshes_lru_position():
+    """A hit through a *new spelling* must also refresh the LRU position."""
+    cache = PlanCache(max_plans=2)
+    plan_a, _ = cache.lookup(QUERY_A)
+    cache.lookup(QUERY_B)
+    cache.lookup("QUERY :-  V.Label[a];")  # structural hit on A, new spelling
+    cache.lookup(QUERY_C)
+    assert plan_a in cache
+    assert QUERY_B not in cache
+
+
+def test_program_object_hit_refreshes_lru_position():
+    cache = PlanCache(max_plans=2)
+    plan_a, _ = cache.lookup(TMNFProgram.parse(QUERY_A))
+    cache.lookup(QUERY_B)
+    cache.lookup(TMNFProgram.parse(QUERY_A))  # object lookup, no source key
+    cache.lookup(QUERY_C)
+    assert plan_a in cache
+    assert QUERY_B not in cache
+
+
+def test_eviction_removes_stale_source_aliases():
+    cache = PlanCache(max_plans=1)
+    cache.lookup(QUERY_A)
+    cache.lookup(QUERY_B)  # evicts A's plan and must drop A's alias
+    assert QUERY_A not in cache
+    assert cache.get_cached(QUERY_A) is None
+    # Looking A up again recompiles: a miss, not a stale-alias hit.
+    hits_before = cache.hits
+    _, hit = cache.lookup(QUERY_A)
+    assert not hit and cache.hits == hits_before
+
+
+def test_evicted_plan_is_recompiled_as_a_distinct_object():
+    cache = PlanCache(max_plans=1)
+    plan_a, _ = cache.lookup(QUERY_A)
+    cache.lookup(QUERY_B)
+    plan_a2, hit = cache.lookup(QUERY_A)
+    assert not hit and plan_a2 is not plan_a
+
+
+def test_clear_resets_counters_and_entries():
+    cache = PlanCache(max_plans=4)
+    cache.lookup(QUERY_A)
+    cache.lookup(QUERY_A)
+    assert cache.stats() == {"plans": 1, "hits": 1, "misses": 1}
+    cache.clear()
+    assert cache.stats() == {"plans": 0, "hits": 0, "misses": 0}
+    assert len(cache) == 0
+
+
+# --------------------------------------------------------------------------- #
+# Concurrency: lookups from many threads stay consistent
+# --------------------------------------------------------------------------- #
+
+
+def test_concurrent_lookups_compile_each_query_exactly_once():
+    cache = PlanCache(max_plans=16)
+    queries = [f"QUERY :- V.Label[l{i}];" for i in range(4)]
+    plans: list[dict] = [dict() for _ in range(8)]
+
+    def worker(slot: int) -> None:
+        for _ in range(50):
+            for query in queries:
+                plan, _ = cache.lookup(query)
+                plans[slot][query] = plan
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert cache.misses == len(queries)  # one compile per distinct query
+    assert len(cache) == len(queries)
+    for query in queries:
+        distinct = {id(slot[query]) for slot in plans}
+        assert len(distinct) == 1  # every thread saw the same plan object

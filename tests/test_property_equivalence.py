@@ -15,84 +15,17 @@ from all four templates.
 
 from __future__ import annotations
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+from hypothesis import HealthCheck, given, settings
 
 from repro.baselines.datalog import evaluate_fixpoint
 from repro.core.sta import SelectingTreeAutomaton
 from repro.core.two_phase import TwoPhaseEvaluator
 from repro.tmnf import TMNFProgram
-from repro.tmnf.ast import DownRule, LocalRule, UpRule
-from repro.tree import BinaryTree, UnrankedTree
-
-# --------------------------------------------------------------------------- #
-# Strategies
-# --------------------------------------------------------------------------- #
-
-LABELS = ("a", "b")
-IDB_NAMES = ("X0", "X1", "X2", "X3")
-EDB_ATOMS = (
-    "Root",
-    "-Root",
-    "HasFirstChild",
-    "-HasFirstChild",
-    "HasSecondChild",
-    "-HasSecondChild",
-    "Label[a]",
-    "-Label[a]",
-    "Label[b]",
-)
-
-
-def trees(max_leaves: int = 10):
-    label = st.sampled_from(LABELS)
-    nested = st.recursive(
-        label,
-        lambda children: st.tuples(label, st.lists(children, max_size=3)),
-        max_leaves=max_leaves,
-    )
-    return nested.map(lambda spec: BinaryTree.from_unranked(UnrankedTree.from_nested(spec)))
-
-
-def local_rules():
-    return st.builds(
-        LocalRule,
-        head=st.sampled_from(IDB_NAMES),
-        body=st.tuples(st.sampled_from(IDB_NAMES + EDB_ATOMS))
-        | st.tuples(st.sampled_from(IDB_NAMES + EDB_ATOMS), st.sampled_from(IDB_NAMES + EDB_ATOMS)),
-    )
-
-
-def down_rules():
-    return st.builds(
-        DownRule,
-        head=st.sampled_from(IDB_NAMES),
-        body_pred=st.sampled_from(IDB_NAMES),
-        relation=st.sampled_from(("FirstChild", "SecondChild")),
-    )
-
-
-def up_rules():
-    return st.builds(
-        UpRule,
-        head=st.sampled_from(IDB_NAMES),
-        body_pred=st.sampled_from(IDB_NAMES),
-        relation=st.sampled_from(("FirstChild", "SecondChild")),
-    )
+from tests.strategies import binary_trees as trees, tmnf_programs
 
 
 def programs():
-    rule = st.one_of(local_rules(), down_rules(), up_rules())
-    # Always include one seeding rule so that programs are not vacuously empty.
-    seed = st.builds(
-        LocalRule,
-        head=st.sampled_from(IDB_NAMES),
-        body=st.sampled_from([("Label[a]",), ("Root",), ("-HasFirstChild",), ()]),
-    )
-    return st.tuples(seed, st.lists(rule, min_size=1, max_size=8)).map(
-        lambda pair: TMNFProgram.from_rules(
-            [pair[0], *pair[1]], query_predicates=pair[0].head
-        )
-    )
+    return tmnf_programs(max_rules=8)
 
 
 COMMON_SETTINGS = dict(

@@ -22,79 +22,8 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 from repro import Database
 from repro.baselines.datalog import evaluate_fixpoint
 from repro.plan import PlanCache
-from repro.tmnf import TMNFProgram
-from repro.tmnf.ast import DownRule, LocalRule, UpRule
-from repro.tree import BinaryTree, UnrankedTree
-
-# --------------------------------------------------------------------------- #
-# Strategies (signature mirrors test_property_equivalence)
-# --------------------------------------------------------------------------- #
-
-LABELS = ("a", "b")
-IDB_NAMES = ("X0", "X1", "X2", "X3")
-EDB_ATOMS = (
-    "Root",
-    "-Root",
-    "HasFirstChild",
-    "-HasFirstChild",
-    "HasSecondChild",
-    "-HasSecondChild",
-    "Label[a]",
-    "-Label[a]",
-    "Label[b]",
-)
-
-
-def unranked_trees(max_leaves: int = 10):
-    label = st.sampled_from(LABELS)
-    nested = st.recursive(
-        label,
-        lambda children: st.tuples(label, st.lists(children, max_size=3)),
-        max_leaves=max_leaves,
-    )
-    return nested.map(UnrankedTree.from_nested)
-
-
-def local_rules():
-    atoms = st.sampled_from(IDB_NAMES + EDB_ATOMS)
-    return st.builds(
-        LocalRule,
-        head=st.sampled_from(IDB_NAMES),
-        body=st.tuples(atoms) | st.tuples(atoms, atoms),
-    )
-
-
-def down_rules():
-    return st.builds(
-        DownRule,
-        head=st.sampled_from(IDB_NAMES),
-        body_pred=st.sampled_from(IDB_NAMES),
-        relation=st.sampled_from(("FirstChild", "SecondChild")),
-    )
-
-
-def up_rules():
-    return st.builds(
-        UpRule,
-        head=st.sampled_from(IDB_NAMES),
-        body_pred=st.sampled_from(IDB_NAMES),
-        relation=st.sampled_from(("FirstChild", "SecondChild")),
-    )
-
-
-def programs():
-    rule = st.one_of(local_rules(), down_rules(), up_rules())
-    seed = st.builds(
-        LocalRule,
-        head=st.sampled_from(IDB_NAMES),
-        body=st.sampled_from([("Label[a]",), ("Root",), ("-HasFirstChild",), ()]),
-    )
-    return st.tuples(seed, st.lists(rule, min_size=1, max_size=6)).map(
-        lambda pair: TMNFProgram.from_rules(
-            [pair[0], *pair[1]], query_predicates=pair[0].head
-        )
-    )
-
+from repro.tree import BinaryTree
+from tests.strategies import tmnf_programs as programs, unranked_trees
 
 COMMON_SETTINGS = dict(
     deadline=None,
