@@ -1,0 +1,35 @@
+"""Service benchmarks: flat `.arb` I/O and rising throughput vs client count.
+
+This measures the serving claim of the coalescing query service: ``B``
+concurrent clients whose requests land in one coalescing window cost **one**
+backward + one forward scan of the document's `.arb` file -- the same pages
+as a single client -- while answered requests per second grow with ``B``
+(window and scan amortised over every rider).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import report
+from repro.bench.reporting import format_table
+from repro.bench.service_bench import client_scaling_rows
+
+
+def test_service_client_scaling(benchmark, tmp_path, scale):
+    exponent = min(scale.acgt_exponent, 11)
+
+    def run():
+        return client_scaling_rows(
+            str(tmp_path), client_counts=(1, 2, 4, 8, 16), acgt_exponent=exponent,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("Service throughput and .arb I/O vs concurrent clients (one document)",
+           format_table(rows))
+    benchmark.extra_info.update(rows[-1])
+    # Every burst coalesced into a single batch ...
+    assert all(row["batches"] == 1 for row in rows)
+    assert all(row["largest_batch"] == row["clients"] for row in rows)
+    # ... so total .arb I/O is the single-client figure, flat in B.
+    assert len({row["arb_pages_read"] for row in rows}) == 1
+    # Amortising the window+scan over B riders raises throughput with B.
+    assert rows[-1]["throughput_rps"] > rows[0]["throughput_rps"]

@@ -20,6 +20,7 @@ from repro.core.two_phase import EvaluationResult, EvaluationStatistics, TwoPhas
 from repro.engine import BatchQueryResult, Database, QueryResult, compile_query
 from repro.errors import ReproError
 from repro.plan import PlanCache, QueryPlan, default_plan_cache
+from repro.service import ArbServer, QueryService, ServiceResponse, ServiceStats
 from repro.storage.database import ArbDatabase
 from repro.storage.disk_engine import DiskQueryEngine
 from repro.tmnf.program import TMNFProgram
@@ -41,6 +42,10 @@ __all__ = [
     "QueryPlan",
     "PlanCache",
     "default_plan_cache",
+    "QueryService",
+    "ServiceResponse",
+    "ServiceStats",
+    "ArbServer",
     "compile_query",
     "TMNFProgram",
     "TwoPhaseEvaluator",

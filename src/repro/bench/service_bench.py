@@ -1,0 +1,113 @@
+"""Benchmark builders for the async query service.
+
+One experiment, the serving version of the paper's k-independence claim:
+``B`` concurrent clients issue queries against **one** on-disk document
+within one coalescing window.  The service merges them into a single batch,
+so the `.arb` file is read with exactly one backward + one forward scan --
+the *total* ``pages_read`` is the single-client figure, flat in ``B`` --
+while throughput (answered requests per second) rises with ``B`` because the
+window and the shared scan are amortised over every rider.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+from repro.datasets.acgt import acgt_flat_tree, random_sequence
+from repro.datasets.random_queries import (
+    ACGT_ALPHABET,
+    STEP_PREVIOUS_SIBLING,
+    random_query_batch,
+)
+from repro.engine import Database
+from repro.plan.cache import PlanCache
+from repro.service import QueryService
+
+__all__ = ["build_service_document", "client_scaling_rows"]
+
+
+def build_service_document(directory: str, *, acgt_exponent: int = 11,
+                           seed: int = 2003) -> str:
+    """Build one flat DNA document of ~2**exponent nodes; returns its base path."""
+    base = os.path.join(directory, "service-doc")
+    sequence = random_sequence(2**acgt_exponent - 1, seed=seed)
+    Database.build(acgt_flat_tree(sequence), base, name="service-doc")
+    return base
+
+
+def _burst_queries(n_clients: int, *, n_distinct: int = 4, query_size: int = 4,
+                   seed: int = 2003) -> list[str]:
+    distinct = [
+        query.to_program_text(STEP_PREVIOUS_SIBLING)
+        for query in random_query_batch(
+            query_size, ACGT_ALPHABET, count=n_distinct, seed=seed
+        )
+    ]
+    return [distinct[index % len(distinct)] for index in range(n_clients)]
+
+
+async def _run_burst(service: QueryService, queries: list[str]):
+    started = time.perf_counter()
+    responses = await asyncio.gather(
+        *[service.submit(query) for query in queries]
+    )
+    return responses, time.perf_counter() - started
+
+
+def client_scaling_rows(
+    directory: str,
+    *,
+    client_counts=(1, 2, 4, 8, 16),
+    acgt_exponent: int = 11,
+    window: float = 0.05,
+    seed: int = 2003,
+) -> list[dict[str, object]]:
+    """Throughput and `.arb` I/O of one coalescing window vs client count.
+
+    Every client count gets a fresh database handle and plan cache; a warmup
+    burst compiles the plans and fills the memo tables, then one measured
+    burst of ``B`` concurrent submissions lands in one coalescing window.
+    ``arb_pages_read`` is the *total* over the burst -- the invariant under
+    test is that it equals the single-client figure for every ``B``.
+    """
+    base = build_service_document(directory, acgt_exponent=acgt_exponent, seed=seed)
+    rows: list[dict[str, object]] = []
+    for clients in client_counts:
+        queries = _burst_queries(clients, seed=seed)
+        database = Database.open(base)
+        database.plan_cache = PlanCache()
+
+        async def run(queries=queries, database=database):
+            async with QueryService(
+                database, window=window, max_batch=max(client_counts)
+            ) as service:
+                await _run_burst(service, queries)  # warmup: plans + memo tables
+                stats = service.stats()
+                pages_before = stats.arb_io.pages_read
+                batches_before = stats.batches
+                responses, wall = await _run_burst(service, queries)
+                return (
+                    responses,
+                    wall,
+                    stats.arb_io.pages_read - pages_before,
+                    stats.batches - batches_before,
+                )
+
+        responses, wall, pages, batches = asyncio.run(run())
+        latencies = [response.total_seconds for response in responses]
+        rows.append(
+            {
+                "clients": clients,
+                "batches": batches,
+                "largest_batch": max(r.batch_size for r in responses),
+                "arb_pages_read": pages,
+                "selected_total": sum(r.count() for r in responses),
+                "wall_seconds": wall,
+                "throughput_rps": clients / wall if wall else 0.0,
+                "mean_latency_ms": 1000 * sum(latencies) / len(latencies),
+            }
+        )
+        database.close()
+    return rows

@@ -35,11 +35,23 @@ Subcommands
 
 ``arb collection stats ROOT``
     Print the manifest of a collection and the shared plan-cache counters.
+
+``arb serve TARGET``
+    Run the async query service over ``TARGET`` (an `.arb` base path, an XML
+    file, or a collection root) on a TCP port, speaking one JSON object per
+    line.  Concurrent requests arriving within ``--window`` seconds coalesce
+    into one scan pair per document, whatever their number; ``--max-pending``
+    bounds the queue (admission control with backpressure).
+
+``arb client (-q PROGRAM | -x XPATH) [--repeat N]``
+    Send queries to a running ``arb serve`` in one concurrent burst (so they
+    can share a window) and print the per-request coalescing statistics.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 
 from repro.collection import EXECUTORS, Collection
@@ -126,6 +138,48 @@ def build_parser() -> argparse.ArgumentParser:
 
     cstats = collection_sub.add_parser("stats", help="print a collection's manifest")
     cstats.add_argument("root", help="collection root directory")
+
+    serve = subparsers.add_parser(
+        "serve", help="serve queries over TCP with request coalescing"
+    )
+    serve.add_argument("target", help=".arb base path, XML file, or collection root")
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8723,
+                       help="TCP port (0 picks an ephemeral port)")
+    serve.add_argument("--window", type=float, default=0.005, metavar="SECONDS",
+                       help="coalescing window: requests arriving within it share "
+                            "one scan pair (default: 0.005)")
+    serve.add_argument("--max-batch", type=int, default=64, metavar="K",
+                       help="largest number of requests per shared batch")
+    serve.add_argument("--max-pending", type=int, default=1024, metavar="N",
+                       help="queue depth limit; further requests are rejected")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="shard workers per batch (collection targets only)")
+    serve.add_argument("--executor", choices=EXECUTORS, default="thread",
+                       help="worker pool kind for collection targets")
+    serve.add_argument("--ready-file", metavar="PATH",
+                       help="write 'host port' to PATH once the listener is bound")
+
+    client = subparsers.add_parser(
+        "client", help="send queries to a running 'arb serve' in one burst"
+    )
+    client.add_argument("--host", default="127.0.0.1", help="server address")
+    client.add_argument("--port", type=int, default=8723, help="server port")
+    clgroup = client.add_mutually_exclusive_group(required=True)
+    clgroup.add_argument("-q", "--program", action="append",
+                         help="TMNF/caterpillar program text (repeatable)")
+    clgroup.add_argument("-f", "--program-file", action="append",
+                         help="file containing a TMNF program (repeatable)")
+    clgroup.add_argument("-x", "--xpath", action="append",
+                         help="XPath expression, supported fragment (repeatable)")
+    client.add_argument("--query-predicate",
+                        help="IDB predicate to report (default: QUERY/first head)")
+    client.add_argument("--repeat", type=int, default=1, metavar="N",
+                        help="send each query N times in the burst (default: 1)")
+    client.add_argument("--ids", action="store_true",
+                        help="print selected node ids")
+    client.add_argument("--stats", action="store_true",
+                        help="also fetch and print the server's service counters")
     return parser
 
 
@@ -293,6 +347,69 @@ def _command_collection_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.service import serve as serve_async
+
+    try:
+        asyncio.run(
+            serve_async(
+                args.target,
+                host=args.host,
+                port=args.port,
+                ready_file=args.ready_file,
+                window=args.window,
+                max_batch=args.max_batch,
+                max_pending=args.max_pending,
+                n_workers=args.workers,
+                executor=args.executor,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    return 0
+
+
+def _command_client(args: argparse.Namespace) -> int:
+    from repro.service import request_many
+
+    queries, language = _collect_queries(args)
+    messages = [
+        {
+            "query": query,
+            "language": language,
+            "query_predicate": args.query_predicate,
+            "ids": bool(args.ids),
+        }
+        for query in queries
+        for _ in range(max(1, args.repeat))
+    ]
+    answers = asyncio.run(request_many(args.host, args.port, messages))
+    if args.stats:
+        # A second round-trip, so the counters include the burst just sent.
+        answers.extend(asyncio.run(request_many(args.host, args.port, [{"op": "stats"}])))
+    failures = 0
+    for answer in answers:
+        if "stats" in answer:
+            print("service counters:")
+            for key, value in answer["stats"].items():
+                print(f"  {key:>20}: {value}")
+            continue
+        if not answer.get("ok"):
+            failures += 1
+            print(f"[{answer.get('id')}] error: {answer.get('error')}")
+            continue
+        cache = "hit" if answer.get("plan_cache_hit") else "miss"
+        print(f"[{answer.get('id')}] {answer.get('count')} selected, "
+              f"batch of {answer.get('batch_size')} "
+              f"({'coalesced' if answer.get('coalesced') else 'alone'}), "
+              f"plan {cache}, {answer.get('arb_pages_read')} arb pages for the batch")
+        if args.ids and answer.get("selected") is not None:
+            for doc_id, nodes in answer["selected"].items():
+                prefix = f"{doc_id}: " if doc_id else ""
+                print("      " + prefix + " ".join(str(node) for node in nodes))
+    return 1 if failures else 0
+
+
 def _command_stats(args: argparse.Namespace) -> int:
     database = ArbDatabase.open(args.database)
     print(f"base path    : {database.base_path}")
@@ -317,6 +434,10 @@ def main(argv: list[str] | None = None) -> int:
             return _command_stats(args)
         if args.command == "collection":
             return _command_collection(args)
+        if args.command == "serve":
+            return _command_serve(args)
+        if args.command == "client":
+            return _command_client(args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -38,11 +38,8 @@ XPath path to the one-scan streaming backend.
 
 from __future__ import annotations
 
-import threading
 import time
-import weakref
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from contextlib import contextmanager
 from dataclasses import dataclass, field
 from functools import partial
 from typing import TYPE_CHECKING, Sequence
@@ -53,6 +50,7 @@ from repro.core.two_phase import EvaluationStatistics
 from repro.errors import EvaluationError
 from repro.plan.batch import evaluate_batch_on_disk
 from repro.plan.cache import PlanCache
+from repro.plan.locks import plans_locked as _plans_locked
 from repro.plan.planner import AUTO_ENGINE, choose_backend
 from repro.storage.paging import IOStatistics
 from repro.tmnf.program import TMNFProgram
@@ -94,47 +92,12 @@ def partition_documents(
 
 
 # ---------------------------------------------------------------------- #
-# Per-plan execution locks (thread executor only)
-# ---------------------------------------------------------------------- #
-
-# A plan's evaluator memoises into shared tables and carries per-run
-# statistics, so two threads must never execute one plan concurrently.  The
-# registry hands out one lock per live plan without touching QueryPlan
-# itself (keeping plans picklable for the process executor).
-_LOCK_REGISTRY_GUARD = threading.Lock()
-_PLAN_LOCKS: "weakref.WeakKeyDictionary[QueryPlan, threading.Lock]" = (
-    weakref.WeakKeyDictionary()
-)
-
-
-def _lock_for(plan: "QueryPlan") -> threading.Lock:
-    with _LOCK_REGISTRY_GUARD:
-        lock = _PLAN_LOCKS.get(plan)
-        if lock is None:
-            lock = threading.Lock()
-            _PLAN_LOCKS[plan] = lock
-        return lock
-
-
-@contextmanager
-def _plans_locked(plans: Sequence["QueryPlan"]):
-    """Hold the execution locks of all distinct plans, in a global order."""
-    distinct: dict[int, "QueryPlan"] = {id(plan): plan for plan in plans}
-    # Sorting by id gives every thread the same acquisition order, so two
-    # workers locking overlapping plan sets cannot deadlock.
-    locks = [_lock_for(distinct[key]) for key in sorted(distinct)]
-    for lock in locks:
-        lock.acquire()
-    try:
-        yield
-    finally:
-        for lock in reversed(locks):
-            lock.release()
-
-
-# ---------------------------------------------------------------------- #
 # Shard evaluation (runs inside a worker)
 # ---------------------------------------------------------------------- #
+
+# Per-plan execution locks now live in repro.plan.locks, shared with the
+# query service layer; the thread executor below serialises executions per
+# plan through the same registry.
 
 
 @dataclass

@@ -54,3 +54,23 @@ class StorageFormatError(StorageError):
 
 class EvaluationError(ReproError):
     """Raised when query evaluation fails (e.g. unknown query predicate)."""
+
+
+class ServiceError(ReproError):
+    """Raised for query-service level failures (not per-query evaluation)."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised when admission control rejects a request (queue depth limit).
+
+    This is the service's backpressure signal: the caller should retry later
+    or slow down.  ``pending`` carries the queue depth observed at rejection.
+    """
+
+    def __init__(self, message: str, pending: int = 0):
+        self.pending = pending
+        super().__init__(message)
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when a request is submitted to a stopped (or stopping) service."""

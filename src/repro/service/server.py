@@ -1,0 +1,278 @@
+"""A line-delimited JSON front end for :class:`QueryService` (``arb serve``).
+
+The wire protocol is deliberately small: one JSON object per line in each
+direction.  Requests::
+
+    {"id": 7, "query": "QUERY :- V.Label[b];"}
+    {"id": 8, "query": "//b", "language": "xpath", "ids": true}
+    {"op": "stats"}
+    {"op": "ping"}
+
+Responses echo ``id`` and carry either the answer or a clean error::
+
+    {"id": 7, "ok": true, "count": 3, "batch_size": 5, "coalesced": true,
+     "plan_cache_hit": true, "arb_pages_read": 12, ...}
+    {"id": 8, "ok": false, "error": "line 1: ...", "error_type": "TMNFSyntaxError"}
+
+Every request line is handled as its own task, so the many in-flight
+requests of one connection (and of concurrent connections) coalesce into
+shared scan pairs exactly like in-process callers -- the server is a thin
+demultiplexer over one :class:`QueryService`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+from repro.collection.collection import Collection
+from repro.collection.manifest import MANIFEST_NAME
+from repro.engine import Database
+from repro.errors import ReproError, ServiceError
+from repro.service.request import ServiceResponse
+from repro.service.service import QueryService
+
+__all__ = ["ArbServer", "open_target", "request_many", "serve"]
+
+
+def open_target(path: str) -> Database | Collection:
+    """Open ``path`` as a collection root, an `.arb` base path, or an XML file."""
+    if os.path.isdir(path) and os.path.exists(os.path.join(path, MANIFEST_NAME)):
+        return Collection.open(path)
+    if path.endswith(".xml"):
+        return Database.from_xml_file(path)
+    return Database.open(path)
+
+
+def _response_payload(request_id, response: ServiceResponse, *, ids: bool) -> dict:
+    arb_io = response.batch_arb_io
+    payload = {
+        "id": request_id,
+        "ok": True,
+        "count": response.count(),
+        "batch_size": response.batch_size,
+        "batch_id": response.batch_id,
+        "coalesced": response.coalesced,
+        "plan_cache_hit": response.plan_cache_hit,
+        "queued_seconds": round(response.queued_seconds, 6),
+        "evaluation_seconds": round(response.evaluation_seconds, 6),
+        "arb_pages_read": arb_io.pages_read if arb_io is not None else 0,
+    }
+    if ids:
+        selected = response.selected_nodes()
+        if not isinstance(selected, list):  # collection: per-document mapping
+            payload["selected"] = selected
+        else:
+            payload["selected"] = {"": selected}
+    return payload
+
+
+class ArbServer:
+    """Serve a :class:`QueryService` over TCP with the JSON-lines protocol."""
+
+    def __init__(
+        self,
+        target: Database | Collection,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        **service_options,
+    ):
+        self.service = QueryService(target, **service_options)
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    async def start(self) -> tuple[str, int]:
+        """Start service + listener; returns the bound ``(host, port)``."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ServiceError("server is not started")
+        await self._server.serve_forever()
+
+    async def __aenter__(self) -> "ArbServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # ------------------------------------------------------------------ #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, OSError):  # abnormal disconnect
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                # One task per request line: later lines must not wait for
+                # earlier answers, or they could never share a window.
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            # Let in-flight requests finish (their writes fail quietly if the
+            # client is gone) before closing; abandoning them would leak
+            # exceptions into asyncio's default handler.
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - client gone
+                pass
+
+    async def _handle_line(
+        self, line: bytes, writer: asyncio.StreamWriter, write_lock: asyncio.Lock
+    ) -> None:
+        request_id = None
+        try:
+            message = json.loads(line)
+            request_id = message.get("id")
+            payload = await self._answer(message, request_id)
+        except ReproError as error:
+            payload = {
+                "id": request_id,
+                "ok": False,
+                "error": str(error),
+                "error_type": type(error).__name__,
+            }
+        except Exception as error:  # malformed JSON, bad field types, ...
+            payload = {
+                "id": request_id,
+                "ok": False,
+                "error": f"bad request: {error}",
+                "error_type": type(error).__name__,
+            }
+        async with write_lock:
+            writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover - client gone
+                pass
+
+    async def _answer(self, message: dict, request_id) -> dict:
+        op = message.get("op", "query")
+        if op == "ping":
+            return {"id": request_id, "ok": True, "pong": True}
+        if op == "stats":
+            return {
+                "id": request_id,
+                "ok": True,
+                "stats": self.service.stats().as_row(),
+            }
+        if op != "query":
+            raise ServiceError(f"unknown op {op!r}")
+        query = message.get("query")
+        if not isinstance(query, str):
+            raise ServiceError("a query request needs a 'query' string")
+        response = await self.service.submit(
+            query,
+            language=message.get("language", "tmnf"),
+            query_predicate=message.get("query_predicate"),
+        )
+        return _response_payload(request_id, response, ids=bool(message.get("ids")))
+
+
+async def serve(
+    target_path: str,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8723,
+    ready_file: str | None = None,
+    **service_options,
+) -> None:
+    """Open ``target_path`` and serve it until cancelled (``arb serve``).
+
+    ``ready_file``, when given, receives one line ``host port`` once the
+    listener is bound -- the hook scripts and tests use to discover an
+    ephemeral port.
+    """
+    server = ArbServer(open_target(target_path), host=host, port=port,
+                       **service_options)
+    bound_host, bound_port = await server.start()
+    print(f"arb serve: listening on {bound_host}:{bound_port}", flush=True)
+    if ready_file:
+        with open(ready_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{bound_host} {bound_port}\n")
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        await server.stop()
+
+
+async def request_many(
+    host: str,
+    port: int,
+    messages: list[dict],
+) -> list[dict]:
+    """Send ``messages`` concurrently over one connection; answers by ``id``.
+
+    Each message gets an ``id`` (its list index) if it has none; the returned
+    list is aligned with the input order whatever order the server answered
+    in.  This is the client used by ``arb client`` and the smoke tests.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        # Wire ids are the list indices -- always unique, so a duplicate or
+        # colliding caller-supplied id can never make two answers land on one
+        # key (which would hang the read loop below).  The caller's own id is
+        # restored on the way out.
+        prepared = []
+        for index, message in enumerate(messages):
+            message = dict(message)
+            message["id"] = index
+            prepared.append(message)
+        # Send everything up front so the server can coalesce the burst.
+        for message in prepared:
+            writer.write(json.dumps(message).encode("utf-8") + b"\n")
+        await writer.drain()
+        answers: dict[int, dict] = {}
+        while len(answers) < len(prepared):
+            line = await reader.readline()
+            if not line:
+                raise ServiceError("server closed the connection mid-burst")
+            payload = json.loads(line)
+            answers[payload.get("id")] = payload
+        ordered = []
+        for index, message in enumerate(messages):
+            payload = answers[index]
+            if "id" in message:
+                payload["id"] = message["id"]
+            ordered.append(payload)
+        return ordered
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - server gone
+            pass

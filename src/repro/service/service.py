@@ -1,0 +1,486 @@
+"""An asyncio query service that coalesces concurrent requests into batches.
+
+The paper's batch guarantee -- ``k`` node-selecting queries over one `.arb`
+database cost **one backward + one forward scan, independent of k** -- is
+exactly the amortisation a high-traffic server wants: concurrent requests
+that arrive in the same short window should share one scan pair instead of
+each paying their own.  :class:`QueryService` implements that window:
+
+* :meth:`submit` admits a request (rejecting with
+  :class:`~repro.errors.ServiceOverloadedError` once the queue depth limit
+  is reached -- the backpressure signal), compiles it through the target's
+  thread-safe :class:`~repro.plan.cache.PlanCache`, and parks it on the
+  coalescing queue;
+* a single batcher task collects everything that arrives within
+  ``window`` seconds (or up to ``max_batch`` requests, whichever comes
+  first) and evaluates the whole batch with **one** call into the plan
+  layer -- :func:`~repro.plan.batch.evaluate_batch_on_disk` for an on-disk
+  database, :meth:`Collection.query_many` for a collection (one scan pair
+  *per document* for the whole batch, dispatched across the collection's
+  shard executors);
+* the batch result is demultiplexed back to the callers: each gets its own
+  :class:`~repro.service.request.ServiceResponse` with per-request answer,
+  queueing/evaluation latency, and the shared batch's `.arb` I/O counters.
+
+Fault isolation: a request that cannot compile fails at :meth:`submit` and
+never enters a batch; a request that makes the *shared* evaluation raise is
+isolated by re-running the batch's requests one by one, so only the
+poisoned request surfaces the error and its batch-mates still get answers.
+Compilation happens per request and evaluation errors are attached per
+future, so no request can poison another or wedge the batcher.
+
+Evaluation runs on a dedicated worker thread (the asyncio loop stays
+responsive while a batch scans), serialised per plan through
+:mod:`repro.plan.locks` like every other multi-threaded execution site.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.collection.collection import Collection
+from repro.engine import Database
+from repro.errors import ServiceClosedError, ServiceError, ServiceOverloadedError
+from repro.plan.batch import evaluate_batch_on_disk
+from repro.plan.locks import plans_locked
+from repro.plan.planner import choose_backend
+from repro.service.request import ServiceResponse, ServiceStats
+from repro.storage.paging import IOStatistics
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.plan.plan import QueryPlan
+
+__all__ = ["QueryService"]
+
+#: Default coalescing window in seconds.
+DEFAULT_WINDOW = 0.005
+#: Default cap on how many requests ride one scan pair.
+DEFAULT_MAX_BATCH = 64
+#: Default admission-control bound on queued requests.
+DEFAULT_MAX_PENDING = 1024
+
+
+@dataclass
+class _Pending:
+    """A request parked on the coalescing queue."""
+
+    request_id: int
+    plan: "QueryPlan"
+    plan_cache_hit: bool
+    future: asyncio.Future
+    enqueued_at: float
+
+
+@dataclass
+class _Outcome:
+    """What one request gets back from its (possibly retried) batch."""
+
+    result: object | None = None
+    error: BaseException | None = None
+    arb_io: IOStatistics | None = None
+    batch_size: int = 1
+    batch_id: int = 0
+    evaluation_seconds: float = 0.0
+    isolated_retry: bool = False
+
+
+class QueryService:
+    """Coalesce concurrent queries against one target into shared scan pairs.
+
+    ``target`` is a :class:`~repro.engine.Database` (in memory or on disk)
+    or a :class:`~repro.collection.Collection`; ``n_workers`` / ``executor``
+    only apply to collections, where each coalesced batch is dispatched
+    across document shards exactly like :meth:`Collection.query_many`.
+    """
+
+    def __init__(
+        self,
+        target: Database | Collection,
+        *,
+        window: float = DEFAULT_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_pending: int = DEFAULT_MAX_PENDING,
+        collect_selected_nodes: bool = True,
+        temp_dir: str | None = None,
+        n_workers: int = 1,
+        executor: str = "thread",
+    ):
+        if not isinstance(target, (Database, Collection)):
+            raise ServiceError(
+                f"a QueryService target must be a Database or a Collection, "
+                f"not {type(target).__name__}"
+            )
+        if window < 0:
+            raise ServiceError("the coalescing window cannot be negative")
+        if max_batch < 1:
+            raise ServiceError("max_batch must be at least 1")
+        if max_pending < 1:
+            raise ServiceError("max_pending must be at least 1")
+        self.target = target
+        self.window = window
+        self.max_batch = max_batch
+        self.max_pending = max_pending
+        self.collect_selected_nodes = collect_selected_nodes
+        self.temp_dir = temp_dir
+        self.n_workers = n_workers
+        self.executor = executor
+        self.plan_cache = target.plan_cache
+
+        self._stats = ServiceStats()
+        self._queue: deque[_Pending] = deque()
+        #: Requests past admission but still compiling (counted against
+        #: max_pending so a compile burst cannot overshoot the queue bound).
+        self._reserved = 0
+        self._running = False
+        self._accepting = False
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._batcher: asyncio.Task | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._compile_pool: ThreadPoolExecutor | None = None
+        self._wakeup: asyncio.Event | None = None
+        self._batch_full: asyncio.Event | None = None
+        self._next_request_id = 0
+        self._next_batch_id = 0
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    async def start(self) -> "QueryService":
+        """Start the batcher; must be called from the serving event loop."""
+        if self._running:
+            raise ServiceError("service is already running")
+        self._loop = asyncio.get_running_loop()
+        self._wakeup = asyncio.Event()
+        self._batch_full = asyncio.Event()
+        self._pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="arb-service"
+        )
+        # Compilation gets its own worker so a cache lookup never queues
+        # behind a long batch scan in the evaluation pool.
+        self._compile_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="arb-service-compile"
+        )
+        self._running = True
+        self._accepting = True
+        self._batcher = asyncio.ensure_future(self._run_batcher())
+        return self
+
+    async def stop(self) -> None:
+        """Stop accepting requests, drain admitted ones, and shut down.
+
+        Two-phase: new submissions are rejected immediately, then requests
+        already past admission (possibly still compiling) are allowed to
+        enqueue and the batcher drains the queue before shutting down.
+        """
+        if not self._running:
+            return
+        self._accepting = False
+        while self._reserved:
+            await asyncio.sleep(0.001)  # in-flight admissions finish compiling
+        self._running = False
+        assert self._wakeup is not None and self._batcher is not None
+        self._wakeup.set()
+        self._batch_full.set()
+        await self._batcher
+        self._batcher = None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._compile_pool is not None:
+            self._compile_pool.shutdown(wait=True)
+            self._compile_pool = None
+
+    async def __aenter__(self) -> "QueryService":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    @property
+    def is_running(self) -> bool:
+        return self._running
+
+    @property
+    def pending(self) -> int:
+        """Requests currently queued for coalescing."""
+        return len(self._queue)
+
+    def stats(self) -> ServiceStats:
+        """The live service-lifetime counters (see :class:`ServiceStats`)."""
+        return self._stats
+
+    # ------------------------------------------------------------------ #
+    # Submitting requests
+    # ------------------------------------------------------------------ #
+
+    async def submit(
+        self,
+        query,
+        *,
+        language: str = "tmnf",
+        query_predicate: str | tuple[str, ...] | None = None,
+    ) -> ServiceResponse:
+        """Admit one query, ride a coalesced batch, return its answer.
+
+        Raises :class:`~repro.errors.ServiceOverloadedError` when the queue
+        is full (backpressure), :class:`~repro.errors.ServiceClosedError`
+        when the service is not running, and whatever
+        :class:`~repro.errors.ReproError` the query itself earns -- a
+        malformed query fails here, before it can touch a shared batch.
+        """
+        if not self._running or not self._accepting:
+            raise ServiceClosedError("the query service is not running")
+        depth = len(self._queue) + self._reserved
+        if depth >= self.max_pending:
+            self._stats.rejected += 1
+            raise ServiceOverloadedError(
+                f"query service overloaded: {depth} requests pending "
+                f"(limit {self.max_pending})",
+                pending=depth,
+            )
+        # Compile (or look up) before queueing: a parse/validation error is
+        # this caller's problem alone and must never enter a shared batch.
+        # The lookup runs off the event loop so a compile burst cannot stall
+        # the batcher's window timer or other connections.
+        self._reserved += 1
+        try:
+            plan, hit = await self._loop.run_in_executor(
+                self._compile_pool,
+                lambda: self.plan_cache.lookup(
+                    query, language=language, query_predicate=query_predicate
+                ),
+            )
+        finally:
+            self._reserved -= 1
+        if not self._running:
+            # The service stopped while this request compiled; enqueueing now
+            # would park it behind a batcher that has already drained.
+            raise ServiceClosedError("the query service stopped during admission")
+        self._stats.submitted += 1
+        self._stats.plan_cache_hits += int(hit)
+        self._stats.plan_cache_misses += int(not hit)
+        self._next_request_id += 1
+        pending = _Pending(
+            request_id=self._next_request_id,
+            plan=plan,
+            plan_cache_hit=hit,
+            future=self._loop.create_future(),
+            enqueued_at=time.perf_counter(),
+        )
+        self._queue.append(pending)
+        self._wakeup.set()
+        if len(self._queue) >= self.max_batch:
+            self._batch_full.set()
+        return await pending.future
+
+    def submit_threadsafe(
+        self,
+        query,
+        *,
+        language: str = "tmnf",
+        query_predicate: str | tuple[str, ...] | None = None,
+    ) -> Future:
+        """Submit from any thread; returns a concurrent.futures.Future.
+
+        This is the bridge for non-async clients (thread pools hammering one
+        service, the soak tests): the coroutine is scheduled onto the
+        service's own loop, so coalescing still happens there.
+        """
+        if not self._running or self._loop is None:
+            raise ServiceClosedError("the query service is not running")
+        return asyncio.run_coroutine_threadsafe(
+            self.submit(query, language=language, query_predicate=query_predicate),
+            self._loop,
+        )
+
+    # ------------------------------------------------------------------ #
+    # The batcher
+    # ------------------------------------------------------------------ #
+
+    async def _run_batcher(self) -> None:
+        assert self._loop is not None
+        while True:
+            if not self._queue:
+                if not self._running:
+                    return
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            # The coalescing window: the first queued request holds the door
+            # open for ``window`` seconds so concurrent arrivals can share
+            # its scan pair; a full batch (or a stopping service) dispatches
+            # immediately.
+            if self.window > 0 and self._running and len(self._queue) < self.max_batch:
+                self._batch_full.clear()
+                try:
+                    await asyncio.wait_for(self._batch_full.wait(), timeout=self.window)
+                except (asyncio.TimeoutError, TimeoutError):
+                    pass
+            size = min(self.max_batch, len(self._queue))
+            batch = [self._queue.popleft() for _ in range(size)]
+            dequeued_at = time.perf_counter()
+            try:
+                outcomes = await self._loop.run_in_executor(
+                    self._pool, self._evaluate_batch, batch
+                )
+                self._deliver(batch, outcomes, dequeued_at)
+            except BaseException as exc:  # defensive: never wedge the loop
+                for request in batch:
+                    if not request.future.done():
+                        self._stats.failed += 1
+                        request.future.set_exception(
+                            ServiceError(f"batch evaluation failed: {exc!r}")
+                        )
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+
+    def _deliver(
+        self, batch: list[_Pending], outcomes: list[_Outcome], dequeued_at: float
+    ) -> None:
+        for index, (request, outcome) in enumerate(zip(batch, outcomes)):
+            if request.future.done():  # pragma: no cover - cancelled caller
+                continue
+            queued = dequeued_at - request.enqueued_at
+            self._stats.queued_seconds += queued
+            if outcome.error is not None:
+                self._stats.failed += 1
+                request.future.set_exception(outcome.error)
+                continue
+            self._stats.completed += 1
+            request.future.set_result(
+                ServiceResponse(
+                    request_id=request.request_id,
+                    result=outcome.result,
+                    batch_size=outcome.batch_size,
+                    batch_index=index,
+                    batch_id=outcome.batch_id,
+                    plan_cache_hit=request.plan_cache_hit,
+                    queued_seconds=queued,
+                    evaluation_seconds=outcome.evaluation_seconds,
+                    batch_arb_io=outcome.arb_io,
+                    isolated_retry=outcome.isolated_retry,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # Batch evaluation (worker thread)
+    # ------------------------------------------------------------------ #
+
+    def _evaluate_batch(self, batch: list[_Pending]) -> list[_Outcome]:
+        plans = [request.plan for request in batch]
+        started = time.perf_counter()
+        try:
+            results, arb_io = self._execute(plans)
+        except Exception:
+            # Error isolation: something in the *shared* evaluation raised.
+            # Re-run the batch one request at a time so only the poisoned
+            # request surfaces its error; its batch-mates pay an extra scan
+            # pair but still get clean answers.
+            self._stats.isolation_retries += 1
+            return [self._evaluate_single(request) for request in batch]
+        elapsed = time.perf_counter() - started
+        self._record_batch(len(batch), arb_io, elapsed)
+        batch_id = self._assign_batch_id()
+        return [
+            _Outcome(
+                result=result,
+                arb_io=arb_io,
+                batch_size=len(batch),
+                batch_id=batch_id,
+                evaluation_seconds=elapsed,
+            )
+            for result in results
+        ]
+
+    def _evaluate_single(self, request: _Pending) -> _Outcome:
+        started = time.perf_counter()
+        try:
+            results, arb_io = self._execute([request.plan])
+        except Exception as exc:
+            return _Outcome(
+                error=exc,
+                batch_id=self._assign_batch_id(),
+                evaluation_seconds=time.perf_counter() - started,
+                isolated_retry=True,
+            )
+        elapsed = time.perf_counter() - started
+        self._record_batch(1, arb_io, elapsed)
+        return _Outcome(
+            result=results[0],
+            arb_io=arb_io,
+            batch_size=1,
+            batch_id=self._assign_batch_id(),
+            evaluation_seconds=elapsed,
+            isolated_retry=True,
+        )
+
+    def _assign_batch_id(self) -> int:
+        self._next_batch_id += 1
+        return self._next_batch_id
+
+    def _record_batch(self, size: int, arb_io: IOStatistics, elapsed: float) -> None:
+        stats = self._stats
+        stats.batches += 1
+        stats.evaluation_seconds += elapsed
+        stats.largest_batch = max(stats.largest_batch, size)
+        if size > 1:
+            stats.coalesced_requests += size
+        stats.arb_io = stats.arb_io.merge(arb_io)
+
+    def _execute(self, plans: list["QueryPlan"]) -> tuple[list, IOStatistics]:
+        """Evaluate ``plans`` together; returns per-plan results + batch I/O."""
+        if isinstance(self.target, Collection):
+            return self._execute_collection(plans)
+        return self._execute_database(plans)
+
+    def _execute_database(self, plans: list["QueryPlan"]) -> tuple[list, IOStatistics]:
+        database = self.target
+        if database.is_on_disk:
+            with plans_locked(plans):
+                batch = evaluate_batch_on_disk(
+                    plans,
+                    database.disk,
+                    temp_dir=self.temp_dir,
+                    collect_selected_nodes=self.collect_selected_nodes,
+                )
+            return list(batch.results), batch.arb_io
+        results = []
+        arb_io = IOStatistics()
+        with plans_locked(plans):
+            for plan in plans:
+                backend = choose_backend(plan, database)
+                result = backend.execute(plan, database, temp_dir=self.temp_dir)
+                if not self.collect_selected_nodes:
+                    result.selected = {pred: [] for pred in result.selected}
+                if result.io is not None:
+                    arb_io = arb_io.merge(result.io)
+                results.append(result)
+        return results, arb_io
+
+    def _execute_collection(self, plans: list["QueryPlan"]) -> tuple[list, IOStatistics]:
+        collection = self.target
+        full = collection.query_many(
+            [plan.program for plan in plans],
+            n_workers=self.n_workers,
+            executor=self.executor,
+            collect_selected_nodes=self.collect_selected_nodes,
+            temp_dir=self.temp_dir,
+        )
+        # Demultiplex the corpus-wide batch into per-request single-query
+        # views; they share the batch's I/O counter objects, so idempotent
+        # merges (CollectionQueryResult.merged) count each scan pair once.
+        views = [full.for_query(index) for index in range(len(plans))]
+        return views, full.arb_io
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "running" if self._running else "stopped"
+        return (
+            f"QueryService({self.target!r}, window={self.window}, "
+            f"max_batch={self.max_batch}, {state})"
+        )

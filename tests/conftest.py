@@ -3,11 +3,70 @@
 from __future__ import annotations
 
 import random
+import signal
 
 import pytest
 
 from repro.tmnf.program import TMNFProgram
 from repro.tree import BinaryTree, UnrankedNode, UnrankedTree, parse_xml
+
+# --------------------------------------------------------------------------- #
+# Test timeouts: no test may hang the pipeline
+# --------------------------------------------------------------------------- #
+
+#: Default per-test timeout (seconds).  The soak/concurrency suites of the
+#: query service must be able to *fail* on a deadlock, never hang CI.
+DEFAULT_TEST_TIMEOUT = 120
+
+
+def _has_timeout_plugin(config) -> bool:
+    return config.pluginmanager.hasplugin("timeout")
+
+
+def pytest_configure(config):
+    # pytest-timeout registers this marker itself when installed; register it
+    # here too so `@pytest.mark.timeout(...)` never warns without the plugin.
+    config.addinivalue_line(
+        "markers", "timeout(seconds): fail the test if it runs longer than this"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not _has_timeout_plugin(config):
+        return
+    # With pytest-timeout installed (CI always has it), give every test the
+    # sane default; individual tests can still override with their marker.
+    for item in items:
+        if item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(DEFAULT_TEST_TIMEOUT))
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback so tests cannot hang when pytest-timeout is absent.
+
+    The container image may lack the plugin; CPython delivers signals to the
+    main thread even while it blocks on locks or an asyncio selector, so an
+    alarm turns a would-be deadlock into an ordinary test failure.
+    """
+    if _has_timeout_plugin(item.config) or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    marker = item.get_closest_marker("timeout")
+    seconds = float(marker.args[0]) if marker and marker.args else DEFAULT_TEST_TIMEOUT
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the {seconds:.0f}s fallback timeout (possible deadlock)"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # --------------------------------------------------------------------------- #

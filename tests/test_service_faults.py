@@ -1,0 +1,181 @@
+"""Fault injection: a bad request fails alone, never its batch-mates.
+
+Three failure classes are injected:
+
+* a query that cannot *compile* (syntax error, unknown engine input) --
+  must fail at submission, before it can enter a shared batch;
+* a query whose evaluation *raises mid-batch* (a poisoned evaluator) --
+  the shared scan aborts, and the service must isolate the poison by
+  re-running the batch one request at a time so only the poisoned caller
+  sees the error;
+* repeated faults -- the coalescer must keep serving normally afterwards
+  (no wedged batcher task, no stuck queue, no leaked per-plan locks).
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro import Database, PlanCache
+from repro.errors import ReproError, TMNFSyntaxError
+from repro.service import QueryService
+
+DOCUMENT = "<lib>" + "<book><t>x</t></book>" * 7 + "<dvd/>" * 3 + "</lib>"
+
+BOOKS = "QUERY :- V.Label[book];"
+DVDS = "QUERY :- V.Label[dvd];"
+POISON = "QUERY :- V.Label[poison];"
+
+
+@pytest.fixture
+def disk_database(tmp_path) -> Database:
+    database = Database.build(DOCUMENT, str(tmp_path / "doc"))
+    database.plan_cache = PlanCache()
+    return database
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def poison_plan(database: Database, query: str) -> None:
+    """Make ``query``'s (cached) plan raise during bottom-up evaluation."""
+    plan, _ = database.plan_cache.lookup(query)
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("injected mid-batch fault")
+
+    plan.evaluator.compute_reachable_states = explode
+
+
+# --------------------------------------------------------------------------- #
+# Compile-time faults
+# --------------------------------------------------------------------------- #
+
+
+def test_malformed_query_fails_only_itself(disk_database):
+    async def main():
+        async with QueryService(disk_database, window=0.05) as service:
+            return await asyncio.gather(
+                service.submit(BOOKS),
+                service.submit("THIS IS NOT A PROGRAM"),
+                service.submit(DVDS),
+                return_exceptions=True,
+            )
+
+    good_books, error, good_dvds = run(main())
+    assert isinstance(error, TMNFSyntaxError)
+    assert good_books.count() == 7
+    assert good_dvds.count() == 3
+    # The malformed request never entered a batch: the good pair coalesced.
+    assert good_books.batch_size == 2
+
+
+def test_malformed_xpath_fails_cleanly(disk_database):
+    async def main():
+        async with QueryService(disk_database, window=0.02) as service:
+            with pytest.raises(ReproError):
+                await service.submit("///[[", language="xpath")
+            response = await service.submit("//t", language="xpath")
+            return response
+
+    assert run(main()).count() == 7
+
+
+# --------------------------------------------------------------------------- #
+# Mid-batch evaluation faults
+# --------------------------------------------------------------------------- #
+
+
+def test_midbatch_fault_is_isolated_to_its_request(disk_database):
+    poison_plan(disk_database, POISON)
+
+    async def main():
+        async with QueryService(disk_database, window=0.05) as service:
+            results = await asyncio.gather(
+                service.submit(BOOKS),
+                service.submit(POISON),
+                service.submit(DVDS),
+                service.submit(BOOKS),
+                return_exceptions=True,
+            )
+            return results, service.stats()
+
+    (books, poison, dvds, books2), stats = run(main())
+    # Only the poisoned request surfaces the injected error...
+    assert isinstance(poison, RuntimeError)
+    assert "injected" in str(poison)
+    # ... its batch-mates still get clean, correct answers (retried alone).
+    assert books.count() == 7 and books2.count() == 7
+    assert dvds.count() == 3
+    assert books.isolated_retry and dvds.isolated_retry
+    assert stats.isolation_retries == 1
+    assert stats.failed == 1
+    assert stats.completed == 3
+
+
+def test_coalescer_keeps_serving_after_faults(disk_database):
+    poison_plan(disk_database, POISON)
+
+    async def main():
+        async with QueryService(disk_database, window=0.05) as service:
+            # Two poisoned windows in a row ...
+            for _ in range(2):
+                results = await asyncio.gather(
+                    service.submit(POISON),
+                    service.submit(BOOKS),
+                    return_exceptions=True,
+                )
+                assert isinstance(results[0], RuntimeError)
+                assert results[1].count() == 7
+            # ... and the next healthy window coalesces as if nothing happened.
+            burst = await asyncio.gather(
+                service.submit(BOOKS), service.submit(DVDS)
+            )
+            return burst, service.stats()
+
+    burst, stats = run(main())
+    assert [response.count() for response in burst] == [7, 3]
+    assert all(response.coalesced and not response.isolated_retry
+               for response in burst)
+    assert stats.isolation_retries == 2
+    assert stats.failed == 2
+
+
+def test_cancelled_caller_does_not_poison_the_batch(disk_database):
+    """A caller that gives up mid-window must not break its batch-mates.
+
+    The demux guards with ``future.done()`` before delivering: a cancelled
+    future would otherwise raise ``InvalidStateError`` inside the batcher and
+    wedge every later window.
+    """
+
+    async def main():
+        async with QueryService(disk_database, window=0.1) as service:
+            impatient = asyncio.ensure_future(service.submit(BOOKS))
+            patient = asyncio.ensure_future(service.submit(DVDS))
+            await asyncio.sleep(0.01)  # both are queued inside the window
+            impatient.cancel()
+            response = await patient
+            # The service must still be healthy for the next window.
+            follow_up = await service.submit(BOOKS)
+            return response, follow_up
+
+    response, follow_up = run(main())
+    assert response.count() == 3
+    assert response.batch_size == 2  # the cancelled rider was still evaluated
+    assert follow_up.count() == 7
+
+
+def test_fault_in_single_request_batch(disk_database):
+    poison_plan(disk_database, POISON)
+
+    async def main():
+        async with QueryService(disk_database, window=0.01) as service:
+            with pytest.raises(RuntimeError):
+                await service.submit(POISON)
+            return await service.submit(BOOKS)
+
+    assert run(main()).count() == 7

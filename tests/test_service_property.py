@@ -1,0 +1,92 @@
+"""Property-based guarantees of the coalescing service.
+
+For random trees, random TMNF query mixes and random arrival orders:
+
+* every coalesced answer is **identical** to evaluating that query alone on
+  the same document (selected nodes, counts), whatever rode in the window
+  beside it, and
+* the document's `.arb` ``pages_read`` for one coalesced window equals the
+  single-client figure -- independent of how many clients coalesced.
+
+The query generator draws freely from all four TMNF rule templates (via the
+shared :mod:`tests.strategies`), so up/down/local rule interactions are
+exercised inside shared windows, not just label filters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import tempfile
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro import Database, PlanCache
+from repro.service import QueryService
+from tests.strategies import tmnf_programs as programs, unranked_trees
+
+COMMON_SETTINGS = dict(
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+async def _coalesced_burst(database, batch, order):
+    """Submit ``batch`` concurrently in ``order``; answers in batch order."""
+    async with QueryService(database, window=0.05, max_batch=64) as service:
+        tasks: dict[int, asyncio.Task] = {}
+        for index in order:
+            tasks[index] = asyncio.ensure_future(service.submit(batch[index]))
+        responses = {}
+        for index, task in tasks.items():
+            responses[index] = await task
+        return [responses[index] for index in range(len(batch))]
+
+
+@given(
+    batch=st.lists(programs(), min_size=1, max_size=4),
+    tree=unranked_trees(),
+    order_seed=st.randoms(use_true_random=False),
+)
+@settings(max_examples=15, **COMMON_SETTINGS)
+def test_coalesced_answers_equal_solo_evaluation(batch, tree, order_seed):
+    order = list(range(len(batch)))
+    order_seed.shuffle(order)
+    with tempfile.TemporaryDirectory() as directory:
+        database = Database.build(tree, f"{directory}/random")
+        database.plan_cache = PlanCache()
+        responses = asyncio.run(_coalesced_burst(database, batch, order))
+        # A fresh cache for the solo reference runs: nothing shared with the
+        # coalesced evaluation above.
+        reference = Database.open(f"{directory}/random")
+        reference.plan_cache = PlanCache()
+        for program, response in zip(batch, responses):
+            solo = reference.query(program, engine="disk")
+            predicate = program.query_predicates[0]
+            assert response.result.selected[predicate] == solo.selected[predicate]
+            assert response.result.counts[predicate] == solo.counts[predicate]
+        reference.close()
+        database.close()
+
+
+@given(
+    program=programs(),
+    tree=unranked_trees(),
+    n_clients=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=15, **COMMON_SETTINGS)
+def test_pages_read_independent_of_coalesced_client_count(program, tree, n_clients):
+    with tempfile.TemporaryDirectory() as directory:
+        database = Database.build(tree, f"{directory}/random")
+        database.plan_cache = PlanCache()
+        # Single-client figure: a batch of one over the same database.
+        single = database.query_many([program])
+        batch = [program] * n_clients
+        responses = asyncio.run(
+            _coalesced_burst(database, batch, list(range(n_clients)))
+        )
+        assert all(r.batch_size == n_clients for r in responses)
+        assert all(r.batch_id == responses[0].batch_id for r in responses)
+        batch_io = responses[0].batch_arb_io
+        assert batch_io.pages_read == single.arb_io.pages_read
+        assert batch_io.seeks == 2  # one backward + one forward linear scan
+        database.close()
