@@ -21,8 +21,10 @@ from repro.engine import BatchQueryResult, Database, QueryResult, compile_query
 from repro.errors import ReproError
 from repro.plan import PlanCache, QueryPlan, default_plan_cache
 from repro.service import ArbServer, QueryService, ServiceResponse, ServiceStats
+from repro.storage.bufferpool import BufferPool, default_buffer_pool, resolve_pager
 from repro.storage.database import ArbDatabase
 from repro.storage.disk_engine import DiskQueryEngine
+from repro.storage.paging import IOStatistics, PagerConfig
 from repro.tmnf.program import TMNFProgram
 from repro.tree.binary import BinaryTree
 from repro.tree.unranked import UnrankedNode, UnrankedTree
@@ -53,6 +55,11 @@ __all__ = [
     "EvaluationStatistics",
     "DiskQueryEngine",
     "ArbDatabase",
+    "BufferPool",
+    "PagerConfig",
+    "IOStatistics",
+    "default_buffer_pool",
+    "resolve_pager",
     "BinaryTree",
     "UnrankedTree",
     "UnrankedNode",

@@ -1,0 +1,281 @@
+"""The benchmark-regression harness behind the ``bench-regression`` CI gate.
+
+Runs the *fast* scan-path benchmark subset -- figure-6-style datasets, full
+forward/backward `.arb` scans and a disk query batch, in both pager modes --
+and writes one JSON record per benchmark::
+
+    {"name": "scan-forward/treebank/mmap", "wall_seconds": 0.0021,
+     "pages_read": 1, "seeks": 1, "bytes_read": 120132}
+
+The committed ``BENCH_baseline.json`` is the trajectory anchor; a PR run
+(``BENCH_pr.json``) is compared against it with two very different rules:
+
+* **access-pattern counters** (``pages_read`` / ``seeks`` / ``bytes_read``)
+  must match the baseline *exactly* -- they are the paper's verifiable
+  artifact and deterministic for a fixed dataset, so any drift is a real
+  behaviour change, never noise;
+* **wall-clock** may regress at most ``tolerance`` (default 25%) after
+  normalising both runs by their own machine-speed calibration (a fixed
+  pure-Python workload timed in the same process), so a slow CI runner
+  cannot fail the gate and a fast one cannot hide a regression.
+
+Refresh the baseline after an intentional change with::
+
+    PYTHONPATH=src python -m repro.bench.regression --output BENCH_baseline.json
+
+and check a candidate locally with::
+
+    PYTHONPATH=src python -m repro.bench.regression --output BENCH_pr.json \
+        --baseline BENCH_baseline.json --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+from repro.bench.figure6 import load_block_tree
+from repro.engine import Database
+from repro.storage.build import build_database
+from repro.storage.database import ArbDatabase
+from repro.storage.paging import IOStatistics, PagerConfig
+
+__all__ = ["run_benchmarks", "compare_benchmarks", "main"]
+
+#: Pager modes every benchmark runs under.
+MODES = ("buffered", "mmap")
+
+#: Figure-6 blocks and the label queries batched over each on disk (the
+#: datasets' actual alphabets, so the batches select real nodes and the
+#: gate times the selection/emit path too).
+BLOCK_QUERIES = {
+    "treebank": ["NP", "VP", "PP", "S"],
+    "acgt-flat": ["A", "C", "G", "T"],
+    "acgt-infix": ["A", "C", "G", "T"],
+}
+
+#: Dataset scale of the gate: big enough for stable timings, small enough
+#: for a sub-minute CI job.
+TREEBANK_NODES = 60_000
+ACGT_EXPONENT = 16
+
+#: Default wall-clock regression tolerance (after calibration).
+DEFAULT_TOLERANCE = 0.25
+
+#: Counters that must match the baseline exactly.
+EXACT_FIELDS = ("pages_read", "seeks", "bytes_read")
+
+
+def _best_of(function, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        result = function()
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def calibrate(repeats: int = 3) -> float:
+    """Seconds this interpreter needs for a fixed pure-Python workload."""
+
+    def spin() -> int:
+        total = 0
+        for value in range(1_500_000):
+            total += value * value
+        return total
+
+    seconds, _ = _best_of(spin, repeats)
+    return seconds
+
+
+def _scan_stats(database: ArbDatabase, backward: bool) -> IOStatistics:
+    stats = IOStatistics()
+    records = database.records_backward if backward else database.records_forward
+    for _ in records(stats=stats):
+        pass
+    return stats
+
+
+def run_benchmarks(
+    *,
+    repeats: int = 3,
+    treebank_nodes: int = TREEBANK_NODES,
+    acgt_exponent: int = ACGT_EXPONENT,
+    temp_dir: str | None = None,
+) -> dict:
+    """Run the fast subset and return the BENCH json payload (a dict)."""
+    payload: dict = {
+        "version": 1,
+        "scale": {"treebank_nodes": treebank_nodes, "acgt_exponent": acgt_exponent, "repeats": repeats},
+        "calibration_seconds": calibrate(),
+        "benchmarks": [],
+    }
+    entries = payload["benchmarks"]
+    with tempfile.TemporaryDirectory(dir=temp_dir) as tmp:
+        for block, labels in BLOCK_QUERIES.items():
+            tree = load_block_tree(block, treebank_nodes=treebank_nodes, acgt_exponent=acgt_exponent)
+            base = os.path.join(tmp, block)
+            build_database(tree.to_unranked(), base)
+            queries = [f"QUERY :- V.Label[{label}];" for label in labels]
+            per_mode_io: dict[str, tuple] = {}
+            for mode in MODES:
+                pager = PagerConfig(mode=mode)
+                arb = ArbDatabase.open(base, pager=pager)
+                seconds, stats = _best_of(lambda: _scan_stats(arb, backward=False), repeats)
+                entries.append(_entry(f"scan-forward/{block}/{mode}", seconds, stats))
+                forward_io = stats
+                seconds, stats = _best_of(lambda: _scan_stats(arb, backward=True), repeats)
+                entries.append(_entry(f"scan-backward/{block}/{mode}", seconds, stats))
+                backward_io = stats
+
+                database = Database.open(base, pager=pager)
+                # One untimed warm-up evaluation so plan compilation and lazy
+                # automaton construction never leak into the gated timing.
+                database.query_many(queries, engine="disk", temp_dir=tmp)
+                seconds, batch = _best_of(
+                    lambda: database.query_many(queries, engine="disk", temp_dir=tmp),
+                    repeats,
+                )
+                entries.append(
+                    _entry(
+                        f"query-batch/{block}/{mode}",
+                        seconds,
+                        batch.arb_io,
+                        selected=sum(result.count() for result in batch.results),
+                    )
+                )
+                per_mode_io[mode] = (forward_io, backward_io, batch.arb_io)
+            # The recorded artifact itself guarantees mode-independence; fail
+            # the run outright if the two modes ever disagree on a counter.
+            _assert_modes_agree(block, per_mode_io)
+    return payload
+
+
+def _entry(name: str, seconds: float, io: IOStatistics, **extra) -> dict:
+    entry = {
+        "name": name,
+        "wall_seconds": round(seconds, 6),
+        "pages_read": io.pages_read,
+        "seeks": io.seeks,
+        "bytes_read": io.bytes_read,
+    }
+    entry.update(extra)
+    return entry
+
+
+def _assert_modes_agree(block: str, per_mode_io: dict) -> None:
+    reference = None
+    for mode, pair in per_mode_io.items():
+        counters = [(io.pages_read, io.seeks, io.bytes_read) for io in pair]
+        if reference is None:
+            reference = counters
+        elif counters != reference:
+            raise AssertionError(
+                f"{block}: I/O counters differ between pager modes: {reference} vs {mode}={counters}"
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Baseline comparison
+# ---------------------------------------------------------------------- #
+
+
+def compare_benchmarks(baseline: dict, current: dict, tolerance: float = DEFAULT_TOLERANCE) -> list[str]:
+    """Failure messages of ``current`` against ``baseline`` (empty = pass)."""
+    failures: list[str] = []
+    base_by_name = {entry["name"]: entry for entry in baseline.get("benchmarks", [])}
+    cur_by_name = {entry["name"]: entry for entry in current.get("benchmarks", [])}
+    for name in sorted(set(base_by_name) - set(cur_by_name)):
+        failures.append(f"{name}: present in the baseline but missing from this run")
+    for name in sorted(set(cur_by_name) - set(base_by_name)):
+        failures.append(f"{name}: not in the baseline (refresh BENCH_baseline.json)")
+
+    base_cal = baseline.get("calibration_seconds") or 1.0
+    cur_cal = current.get("calibration_seconds") or 1.0
+    for name in sorted(set(base_by_name) & set(cur_by_name)):
+        base, cur = base_by_name[name], cur_by_name[name]
+        for field in EXACT_FIELDS:
+            if base.get(field) != cur.get(field):
+                failures.append(
+                    f"{name}: {field} changed {base.get(field)} -> {cur.get(field)} "
+                    f"(access-pattern counters must match the baseline exactly)"
+                )
+        base_norm = base["wall_seconds"] / base_cal
+        cur_norm = cur["wall_seconds"] / cur_cal
+        if cur_norm > base_norm * (1.0 + tolerance):
+            failures.append(
+                f"{name}: wall-clock regressed {cur_norm / base_norm:.2f}x "
+                f"(calibrated; tolerance {tolerance:.0%}): "
+                f"{base['wall_seconds']:.4f}s baseline vs {cur['wall_seconds']:.4f}s now"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description="Run the fast scan-path benchmarks and gate against a baseline.",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_pr.json",
+        help="where to write this run's results (default: BENCH_pr.json)",
+    )
+    parser.add_argument("--baseline", default=None, help="committed baseline to compare against")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero if the baseline comparison fails",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="calibrated wall-clock regression tolerance (default: 0.25)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repetitions per benchmark; best is kept",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run_benchmarks(repeats=args.repeats)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(
+        f"wrote {args.output} ({len(payload['benchmarks'])} benchmarks, "
+        f"calibration {payload['calibration_seconds']:.4f}s)"
+    )
+    for entry in payload["benchmarks"]:
+        print(
+            f"  {entry['name']:<34} {entry['wall_seconds'] * 1000:9.2f} ms  "
+            f"{entry['pages_read']:>4} pages  {entry['seeks']:>2} seeks"
+        )
+
+    if args.baseline is None:
+        return 0
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    failures = compare_benchmarks(baseline, payload, tolerance=args.tolerance)
+    if failures:
+        print(f"\nbench-regression: {len(failures)} failure(s) against {args.baseline}:")
+        for failure in failures:
+            print(f"  FAIL {failure}")
+        return 1 if args.check else 0
+    print(
+        f"\nbench-regression: OK against {args.baseline} "
+        f"(counters exact, wall-clock within {args.tolerance:.0%})"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -58,6 +58,7 @@ from repro.collection import EXECUTORS, Collection
 from repro.engine import Database
 from repro.errors import ReproError
 from repro.storage.build import build_database
+from repro.storage.bufferpool import resolve_pager
 from repro.storage.database import ArbDatabase
 
 __all__ = ["main", "build_parser"]
@@ -91,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--batch", action="store_true",
                        help="evaluate all given queries together "
                             "(on disk: one pair of linear scans for the whole batch)")
+    query.add_argument("--pager", choices=("buffered", "mmap"), default=None,
+                       help="page access mode for .arb scans: buffered reads through "
+                            "the shared buffer pool, or zero-copy mmap "
+                            "(identical I/O counters either way)")
     query.add_argument("--ids", action="store_true", help="print selected node ids")
     query.add_argument("--mark-up", action="store_true",
                        help="print the document with selected nodes marked up")
@@ -133,6 +138,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="number of parallel workers (default: 1)")
     cquery.add_argument("--executor", choices=EXECUTORS, default="thread",
                         help="worker pool kind (default: thread)")
+    cquery.add_argument("--pager", choices=("buffered", "mmap"), default=None,
+                        help="page access mode for per-document .arb scans")
     cquery.add_argument("--ids", action="store_true",
                         help="print selected node ids per document")
 
@@ -157,6 +164,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="shard workers per batch (collection targets only)")
     serve.add_argument("--executor", choices=EXECUTORS, default="thread",
                        help="worker pool kind for collection targets")
+    serve.add_argument("--pager", choices=("buffered", "mmap"), default=None,
+                       help="page access mode for .arb scans of the served target")
     serve.add_argument("--ready-file", metavar="PATH",
                        help="write 'host port' to PATH once the listener is bound")
 
@@ -183,10 +192,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _open_database(path: str) -> Database:
+def _open_database(path: str, pager_mode: str | None = None) -> Database:
     if path.endswith(".xml"):
         return Database.from_xml_file(path)
-    return Database.open(path)
+    return Database.open(path, pager=resolve_pager(pager_mode))
 
 
 def _command_build(args: argparse.Namespace) -> int:
@@ -212,7 +221,7 @@ def _collect_queries(args: argparse.Namespace) -> tuple[list[str], str]:
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    database = _open_database(args.database)
+    database = _open_database(args.database, pager_mode=args.pager)
     queries, language = _collect_queries(args)
     if args.batch:
         return _run_batch_query(database, queries, language, args)
@@ -308,6 +317,7 @@ def _command_collection_query(args: argparse.Namespace) -> int:
     result = collection.query_many(
         queries, language=language, query_predicate=args.query_predicate,
         engine=args.engine, n_workers=args.workers, executor=args.executor,
+        pager_mode=args.pager,
     )
     statistics = result.statistics
     print(f"collection      : {len(result)} documents, {statistics.nodes} nodes")
@@ -362,6 +372,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 max_pending=args.max_pending,
                 n_workers=args.workers,
                 executor=args.executor,
+                pager_mode=args.pager,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown

@@ -207,6 +207,7 @@ class Collection:
         executor: str = "thread",
         collect_selected_nodes: bool = True,
         temp_dir: str | None = None,
+        pager_mode: str | None = None,
     ) -> CollectionQueryResult:
         """Evaluate one query over every document of the collection."""
         return self.query_many(
@@ -218,6 +219,7 @@ class Collection:
             executor=executor,
             collect_selected_nodes=collect_selected_nodes,
             temp_dir=temp_dir,
+            pager_mode=pager_mode,
         )
 
     def query_many(
@@ -231,6 +233,7 @@ class Collection:
         executor: str = "thread",
         collect_selected_nodes: bool = True,
         temp_dir: str | None = None,
+        pager_mode: str | None = None,
     ) -> CollectionQueryResult:
         """Evaluate ``k`` queries over every document, sharded across workers.
 
@@ -252,6 +255,7 @@ class Collection:
             executor=executor,
             collect_selected_nodes=collect_selected_nodes,
             temp_dir=temp_dir,
+            pager_mode=pager_mode,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -52,6 +52,7 @@ from repro.plan.batch import evaluate_batch_on_disk
 from repro.plan.cache import PlanCache
 from repro.plan.locks import plans_locked as _plans_locked
 from repro.plan.planner import AUTO_ENGINE, choose_backend
+from repro.storage.bufferpool import resolve_pager
 from repro.storage.paging import IOStatistics
 from repro.tmnf.program import TMNFProgram
 
@@ -112,6 +113,9 @@ class _ShardTask:
     engine: str | None = None
     collect_selected_nodes: bool = True
     temp_dir: str | None = None
+    # Pager *mode* rather than a PagerConfig: the process pool pickles tasks,
+    # and each worker should attach its own process-wide buffer pool.
+    pager_mode: str | None = None
 
 
 @dataclass
@@ -144,8 +148,11 @@ def evaluate_shard(task: _ShardTask, cache: PlanCache | None = None) -> _ShardOu
     if cache is None:
         cache = PlanCache()
     outcome = _ShardOutcome(shard_index=task.shard_index)
+    # All shards of one process share the default buffer pool, so a page one
+    # worker read is a memory hit for every other scan of that document.
+    pager = resolve_pager(task.pager_mode)
     for doc_id, base_path in task.documents:
-        database = Database.open(base_path)
+        database = Database.open(base_path, pager=pager)
         database.plan_cache = cache
         try:
             outcome.documents.append(
@@ -188,7 +195,7 @@ def _evaluate_document(
                 if result.io is not None:
                     # memory/fixpoint report zero I/O; streaming reads only
                     # the `.arb` file (one forward scan).
-                    arb_io = arb_io.merge(result.io)
+                    arb_io.add(result.io)
                 results.append(result)
             names = {result.backend for result in results}
             backend = names.pop() if len(names) == 1 else "mixed"
@@ -225,8 +232,14 @@ def run_collection_query(
     executor: str = "thread",
     collect_selected_nodes: bool = True,
     temp_dir: str | None = None,
+    pager_mode: str | None = None,
 ) -> CollectionQueryResult:
-    """Evaluate ``queries`` over every document, sharded across ``n_workers``."""
+    """Evaluate ``queries`` over every document, sharded across ``n_workers``.
+
+    ``pager_mode`` selects the scan path per worker (``"buffered"`` scans
+    share the worker process's buffer pool, ``"mmap"`` maps each document);
+    the per-document I/O counters are identical either way.
+    """
     if not queries:
         raise EvaluationError("a collection query needs at least one query")
     if not entries:
@@ -258,6 +271,7 @@ def run_collection_query(
             engine=engine,
             collect_selected_nodes=collect_selected_nodes,
             temp_dir=temp_dir,
+            pager_mode=pager_mode,
         )
         for index, shard in enumerate(shards)
     ]
@@ -282,8 +296,8 @@ def run_collection_query(
     arb_io = IOStatistics()
     state_io = IOStatistics()
     for doc in documents:
-        arb_io = arb_io.merge(doc.arb_io)
-        state_io = state_io.merge(doc.state_io)
+        arb_io.add(doc.arb_io)
+        state_io.add(doc.state_io)
         aggregate.nodes += doc.n_nodes
         for result in doc.results:
             stats = result.statistics

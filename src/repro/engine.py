@@ -47,6 +47,7 @@ from repro.plan.planner import AUTO_ENGINE, choose_backend
 from repro.plan.result import BatchQueryResult, QueryResult
 from repro.storage.build import build_database
 from repro.storage.database import ArbDatabase
+from repro.storage.paging import PagerConfig
 from repro.tmnf.program import TMNFProgram
 from repro.tree.binary import BinaryTree
 from repro.tree.unranked import UnrankedTree
@@ -105,15 +106,24 @@ class Database:
         return cls(binary=tree, name=name)
 
     @classmethod
-    def open(cls, base_path: str) -> "Database":
-        """Open an on-disk `.arb` database; queries will run in two linear scans."""
-        return cls(disk=ArbDatabase.open(base_path), name=str(base_path))
+    def open(cls, base_path: str, *, pager: "PagerConfig | None" = None) -> "Database":
+        """Open an on-disk `.arb` database; queries will run in two linear scans.
+
+        ``pager`` selects the scan path -- ``PagerConfig(mode="mmap")`` for
+        zero-copy mapped scans, or a config carrying a shared
+        :class:`~repro.storage.bufferpool.BufferPool` (see
+        :func:`repro.storage.bufferpool.resolve_pager`).  Whatever the
+        configuration, the reported I/O counters are identical; only
+        wall-clock time changes.
+        """
+        return cls(disk=ArbDatabase.open(base_path, pager=pager), name=str(base_path))
 
     @classmethod
-    def build(cls, source, base_path: str, *, text_mode: str = "chars", name: str = "") -> "Database":
+    def build(cls, source, base_path: str, *, text_mode: str = "chars", name: str = "",
+              pager: "PagerConfig | None" = None) -> "Database":
         """Create an `.arb` database from XML / a tree / an event stream, then open it."""
         build_database(source, base_path, text_mode=text_mode, name=name)
-        return cls.open(base_path)
+        return cls.open(base_path, pager=pager)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -309,7 +319,7 @@ class Database:
                 aggregate.statistics.td_transitions += stats.td_transitions
                 aggregate.statistics.selected += stats.selected
                 if result.io is not None:
-                    aggregate.arb_io = aggregate.arb_io.merge(result.io)
+                    aggregate.arb_io.add(result.io)
             aggregate.statistics.nodes = self.n_nodes
             backends_used = {result.backend for result in results}
             aggregate.backend = (

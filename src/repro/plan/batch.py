@@ -237,11 +237,11 @@ def _run_phase2(
         {pred: 0 for pred in preds} for preds in query_predicates
     ]
 
-    state_reader = PagedReader(state_path, database.page_size, stats=state_io)
-    states_iter = (
-        entry_struct.unpack(raw)
-        for raw in state_reader.records_backward(entry_struct.size)
-    )
+    # Composite entries decode in batch (one iter_unpack per page); like the
+    # single-query engine, the one-shot state file bypasses any shared pool.
+    state_reader = PagedReader(state_path, database.page_size, stats=state_io,
+                               config=database.pager.without_pool())
+    states_iter = state_reader.unpack_backward(entry_struct)
 
     awaiting_second: list[tuple[frozenset[str], ...]] = []
     next_attachment: tuple[tuple[frozenset[str], ...], int] | None = None

@@ -32,17 +32,22 @@ from repro.engine import Database
 from repro.errors import ReproError, ServiceError
 from repro.service.request import ServiceResponse
 from repro.service.service import QueryService
+from repro.storage.bufferpool import resolve_pager
 
 __all__ = ["ArbServer", "open_target", "request_many", "serve"]
 
 
-def open_target(path: str) -> Database | Collection:
-    """Open ``path`` as a collection root, an `.arb` base path, or an XML file."""
+def open_target(path: str, pager_mode: str | None = None) -> Database | Collection:
+    """Open ``path`` as a collection root, an `.arb` base path, or an XML file.
+
+    ``pager_mode`` selects the scan path for an `.arb` target (collections
+    resolve it per shard at query time, XML targets are in memory).
+    """
     if os.path.isdir(path) and os.path.exists(os.path.join(path, MANIFEST_NAME)):
         return Collection.open(path)
     if path.endswith(".xml"):
         return Database.from_xml_file(path)
-    return Database.open(path)
+    return Database.open(path, pager=resolve_pager(pager_mode))
 
 
 def _response_payload(request_id, response: ServiceResponse, *, ids: bool) -> dict:
@@ -215,8 +220,8 @@ async def serve(
     listener is bound -- the hook scripts and tests use to discover an
     ephemeral port.
     """
-    server = ArbServer(open_target(target_path), host=host, port=port,
-                       **service_options)
+    target = open_target(target_path, pager_mode=service_options.get("pager_mode"))
+    server = ArbServer(target, host=host, port=port, **service_options)
     bound_host, bound_port = await server.start()
     print(f"arb serve: listening on {bound_host}:{bound_port}", flush=True)
     if ready_file:

@@ -109,6 +109,7 @@ class QueryService:
         temp_dir: str | None = None,
         n_workers: int = 1,
         executor: str = "thread",
+        pager_mode: str | None = None,
     ):
         if not isinstance(target, (Database, Collection)):
             raise ServiceError(
@@ -129,6 +130,9 @@ class QueryService:
         self.temp_dir = temp_dir
         self.n_workers = n_workers
         self.executor = executor
+        #: Scan path for collection shards (database targets carry their own
+        #: PagerConfig from Database.open); counters are mode-independent.
+        self.pager_mode = pager_mode
         self.plan_cache = target.plan_cache
 
         self._stats = ServiceStats()
@@ -431,7 +435,7 @@ class QueryService:
         stats.largest_batch = max(stats.largest_batch, size)
         if size > 1:
             stats.coalesced_requests += size
-        stats.arb_io = stats.arb_io.merge(arb_io)
+        stats.arb_io.add(arb_io)  # in place: no dataclass churn per batch
 
     def _execute(self, plans: list["QueryPlan"]) -> tuple[list, IOStatistics]:
         """Evaluate ``plans`` together; returns per-plan results + batch I/O."""
@@ -459,7 +463,7 @@ class QueryService:
                 if not self.collect_selected_nodes:
                     result.selected = {pred: [] for pred in result.selected}
                 if result.io is not None:
-                    arb_io = arb_io.merge(result.io)
+                    arb_io.add(result.io)
                 results.append(result)
         return results, arb_io
 
@@ -471,6 +475,7 @@ class QueryService:
             executor=self.executor,
             collect_selected_nodes=self.collect_selected_nodes,
             temp_dir=self.temp_dir,
+            pager_mode=self.pager_mode,
         )
         # Demultiplex the corpus-wide batch into per-request single-query
         # views; they share the batch's I/O counter objects, so idempotent

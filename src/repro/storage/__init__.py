@@ -1,15 +1,19 @@
 """The Arb secondary-storage model: .arb databases, linear scans, disk engine."""
 
+from repro.storage.bufferpool import BufferPool, BufferPoolStats, default_buffer_pool
 from repro.storage.build import BuildStatistics, DatabaseBuilder, build_database
 from repro.storage.database import ArbDatabase
 from repro.storage.disk_engine import DiskEvaluationResult, DiskQueryEngine
 from repro.storage.labels import LabelTable
-from repro.storage.paging import IOStatistics, PagedReader, PagedWriter
+from repro.storage.paging import IOStatistics, PagedReader, PagedWriter, PagerConfig
 from repro.storage.records import DEFAULT_RECORD_SIZE, NodeRecord, decode_node, encode_node
 from repro.storage.traversal import ScanResult, scan_bottom_up, scan_top_down
 
 __all__ = [
     "ArbDatabase",
+    "BufferPool",
+    "BufferPoolStats",
+    "default_buffer_pool",
     "BuildStatistics",
     "DatabaseBuilder",
     "build_database",
@@ -19,6 +23,7 @@ __all__ = [
     "IOStatistics",
     "PagedReader",
     "PagedWriter",
+    "PagerConfig",
     "NodeRecord",
     "encode_node",
     "decode_node",

@@ -24,9 +24,17 @@ from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.errors import StorageError
+from repro.storage.bufferpool import invalidate_default_pool
 from repro.storage.labels import LabelTable
 from repro.storage.paging import BackwardPagedWriter, IOStatistics, PagedReader, PagedWriter
-from repro.storage.records import DEFAULT_RECORD_SIZE, decode_event, encode_event, encode_node
+from repro.storage.records import (
+    DEFAULT_RECORD_SIZE,
+    decode_event,
+    decode_event_value,
+    encode_event,
+    encode_node,
+    record_struct,
+)
 from repro.tree.unranked import UnrankedNode, UnrankedTree
 from repro.tree.xml_io import parse_xml, parse_xml_file
 
@@ -155,8 +163,7 @@ class DatabaseBuilder:
         max_depth = 0
         previous_was_begin = False
         with BackwardPagedWriter(arb_path, total_size, self.page_size, stats=stats.io) as arb_writer:
-            for raw in evt_reader.records_backward(self.record_size):
-                label_index, is_end = decode_event(raw, self.record_size)
+            for label_index, is_end in self._decoded_events_backward(evt_reader):
                 if is_end:
                     if stack:
                         stack[-1].has_children = True
@@ -192,7 +199,26 @@ class DatabaseBuilder:
         stats.seconds = time.perf_counter() - started
 
         _write_metadata(base_path, n_nodes, self.record_size, stats)
+        # A rebuilt file must never be served from stale cached pages: bump
+        # its generation in the process-wide buffer pool (private pools are
+        # protected by the (size, mtime) fingerprint in every generation).
+        invalidate_default_pool(arb_path)
         return stats
+
+    def _decoded_events_backward(self, evt_reader: PagedReader):
+        """The `.evt` records in reverse, decoded in batch where possible."""
+        fmt = record_struct(self.record_size)
+        if fmt is None:
+            for raw in evt_reader.records_backward(self.record_size):
+                yield decode_event(raw, self.record_size)
+            return
+        memo: dict[int, tuple[int, bool]] = {}
+        lookup = memo.get
+        for (value,) in evt_reader.unpack_backward(fmt):
+            event = lookup(value)
+            if event is None:
+                event = memo[value] = decode_event_value(value, self.record_size)
+            yield event
 
 
 @dataclass

@@ -16,8 +16,14 @@ from typing import Iterator
 
 from repro.errors import StorageError
 from repro.storage.labels import LabelTable
-from repro.storage.paging import DEFAULT_PAGE_SIZE, IOStatistics, PagedReader
-from repro.storage.records import NodeRecord, decode_node
+from repro.storage.paging import DEFAULT_PAGE_SIZE, IOStatistics, PagedReader, PagerConfig
+from repro.storage.records import (
+    NodeRecord,
+    decode_node,
+    decode_node_value,
+    node_record_table,
+    record_struct,
+)
 from repro.tree.binary import NO_NODE, BinaryTree
 
 __all__ = ["ArbDatabase"]
@@ -34,6 +40,9 @@ class ArbDatabase:
     element_nodes: int = 0
     char_nodes: int = 0
     page_size: int = DEFAULT_PAGE_SIZE
+    #: How scans materialise pages (buffered reads, shared buffer pool, or
+    #: zero-copy mmap); never changes the logical I/O counters.
+    pager: PagerConfig = field(default_factory=PagerConfig)
     # Lazily opened read handle for point lookups (see read_record).
     _point_handle: object = field(default=None, init=False, repr=False, compare=False)
 
@@ -48,8 +57,13 @@ class ArbDatabase:
     # ------------------------------------------------------------------ #
 
     @classmethod
-    def open(cls, base_path: str, page_size: int = DEFAULT_PAGE_SIZE) -> "ArbDatabase":
-        """Open ``<base_path>.arb`` (with its ``.lab`` and ``.meta`` companions)."""
+    def open(cls, base_path: str, page_size: int = DEFAULT_PAGE_SIZE,
+             pager: PagerConfig | None = None) -> "ArbDatabase":
+        """Open ``<base_path>.arb`` (with its ``.lab`` and ``.meta`` companions).
+
+        ``pager`` selects the scan path (``buffered``/``mmap``, optional
+        shared buffer pool); the default is plain buffered reads.
+        """
         if base_path.endswith(".arb"):
             base_path = base_path[: -len(".arb")]
         arb_path = base_path + ".arb"
@@ -84,6 +98,7 @@ class ArbDatabase:
             element_nodes=element_nodes,
             char_nodes=char_nodes,
             page_size=page_size,
+            pager=pager if pager is not None else PagerConfig(),
         )
 
     # ------------------------------------------------------------------ #
@@ -98,19 +113,37 @@ class ArbDatabase:
         return os.path.getsize(self.arb_path)
 
     def reader(self, stats: IOStatistics | None = None) -> PagedReader:
-        return PagedReader(self.arb_path, self.page_size, stats=stats)
+        return PagedReader(self.arb_path, self.page_size, stats=stats, config=self.pager)
 
     def records_forward(self, stats: IOStatistics | None = None) -> Iterator[NodeRecord]:
-        """All node records in pre-order (one forward linear scan)."""
-        reader = self.reader(stats)
-        for raw in reader.records_forward(self.record_size):
-            yield decode_node(raw, self.record_size)
+        """All node records in pre-order (one forward linear scan).
+
+        Decoding is batched: whole pages are unpacked with one C-level
+        ``iter_unpack`` call and raw values are interned through a shared
+        value -> :class:`NodeRecord` table, so the per-record Python work is
+        a dict hit.
+        """
+        return self._decoded_records(self.reader(stats), backward=False)
 
     def records_backward(self, stats: IOStatistics | None = None) -> Iterator[NodeRecord]:
         """All node records in reverse pre-order (one backward linear scan)."""
-        reader = self.reader(stats)
-        for raw in reader.records_backward(self.record_size):
-            yield decode_node(raw, self.record_size)
+        return self._decoded_records(self.reader(stats), backward=True)
+
+    def _decoded_records(self, reader: PagedReader, backward: bool) -> Iterator[NodeRecord]:
+        record_size = self.record_size
+        fmt = record_struct(record_size)
+        if fmt is None:  # exotic record size: per-record fallback
+            raws = (reader.records_backward if backward else reader.records_forward)(record_size)
+            for raw in raws:
+                yield decode_node(raw, record_size)
+            return
+        table = node_record_table(record_size)
+        lookup = table.get
+        for (value,) in reader.unpack_backward(fmt) if backward else reader.unpack_forward(fmt):
+            record = lookup(value)
+            if record is None:
+                record = table[value] = decode_node_value(value, record_size)
+            yield record
 
     def label_name(self, record: NodeRecord) -> str:
         return self.labels.name_of(record.label_index)

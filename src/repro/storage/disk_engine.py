@@ -140,6 +140,11 @@ class DiskQueryEngine:
         stack: list[int] = []
         max_depth = 0
         count = 0
+        # Label sets depend only on the raw record shape (label index, child
+        # flags, rootness), so they are memoised per shape instead of being
+        # rebuilt per node -- same trick as the lockstep batch evaluator.
+        label_sets: dict[tuple, frozenset[str]] = {}
+        pack = _STATE_STRUCT.pack
         with PagedWriter(state_path, database.page_size, stats=io) as state_writer:
             for offset, record in enumerate(database.records_backward(stats=io)):
                 node_id = n - 1 - offset
@@ -149,14 +154,20 @@ class DiskQueryEngine:
                     first_state = stack.pop()
                 if record.has_second_child:
                     second_state = stack.pop()
-                labels = schema.label_set_for(
-                    database.label_name(record),
-                    is_root=node_id == 0,
-                    has_first_child=record.has_first_child,
-                    has_second_child=record.has_second_child,
-                )
+                is_root = node_id == 0
+                shape = (record.label_index, record.has_first_child,
+                         record.has_second_child, is_root)
+                labels = label_sets.get(shape)
+                if labels is None:
+                    labels = schema.label_set_for(
+                        database.label_name(record),
+                        is_root=is_root,
+                        has_first_child=record.has_first_child,
+                        has_second_child=record.has_second_child,
+                    )
+                    label_sets[shape] = labels
                 state = compute(first_state, second_state, labels)
-                state_writer.write(_STATE_STRUCT.pack(state))
+                state_writer.write(pack(state))
                 stack.append(state)
                 if len(stack) > max_depth:
                     max_depth = len(stack)
@@ -182,11 +193,11 @@ class DiskQueryEngine:
         selected: dict[str, list[int]] = {pred: [] for pred in query_predicates}
         counts: dict[str, int] = {pred: 0 for pred in query_predicates}
 
-        state_reader = PagedReader(state_path, database.page_size, stats=io)
-        states = (
-            _STATE_STRUCT.unpack(raw)[0]
-            for raw in state_reader.records_backward(STATE_ENTRY_SIZE)
-        )
+        # The temporary state file is read with the database's pager mode but
+        # never through a shared pool (it is written once, read once, deleted).
+        state_reader = PagedReader(state_path, database.page_size, stats=io,
+                                   config=database.pager.without_pool())
+        states = (value for (value,) in state_reader.unpack_backward(_STATE_STRUCT))
 
         awaiting_second: list[frozenset[str]] = []
         next_attachment: tuple[frozenset[str], int] | None = None

@@ -8,29 +8,65 @@ writers that
 * read/write fixed-size records sequentially in either direction, and
 * count bytes, pages and seeks, so the benchmarks and tests can *verify* the
   access pattern rather than assert it rhetorically (see
-  ``benchmarks/bench_io_behavior.py`` and the storage tests).
+  ``benchmarks/`` and the storage tests).
 
-Pages are ``page_size`` bytes (default 64 KiB).  A "seek" is counted whenever
-the file position moves anywhere other than the next/previous contiguous
-page.
+Pages are ``page_size`` bytes (default 64 KiB) on a canonical grid (page *i*
+covers bytes ``[i * page_size, (i+1) * page_size)``), so a forward scan, a
+backward scan and a concurrent scan of the same file all touch the *same*
+pages -- which is what lets a shared
+:class:`~repro.storage.bufferpool.BufferPool` serve one scan's pages to
+another.  A "seek" is counted once per scan (the reposition to the start or
+end of the file); a pure sequential scan never adds more.
+
+:class:`PagerConfig` selects how pages are materialised:
+
+``buffered``
+    ordinary ``read()`` calls, optionally through a shared LRU
+    :class:`~repro.storage.bufferpool.BufferPool`;
+``mmap``
+    the file is memory-mapped once per scan and records are yielded as
+    zero-copy ``memoryview`` slices.
+
+The **logical** :class:`IOStatistics` counters are identical whatever the
+mode or pool state: a page access costs one page read whether it came from
+the OS, the pool or a mapping.  The counters are the paper's verifiable
+artifact -- configuration may change wall-clock time only.  (Physical reads
+performed on behalf of a pool are tracked separately on the pool itself.)
+
+Record decoding is batched: :meth:`PagedReader.unpack_forward` /
+:meth:`PagedReader.unpack_backward` run ``struct.Struct.iter_unpack`` over
+whole page-aligned spans (one C call per page instead of one Python-level
+unpack per record); records straddling a page boundary -- possible whenever
+the record size does not divide the page size -- are stitched individually.
 """
 
 from __future__ import annotations
 
+import mmap as _mmap
 import os
+import struct
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator
 
 from repro.errors import StorageError
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.bufferpool import BufferPool
+
 __all__ = [
     "IOStatistics",
+    "PagerConfig",
     "PagedReader",
     "PagedWriter",
     "BackwardPagedWriter",
     "DEFAULT_PAGE_SIZE",
+    "PAGER_MODES",
 ]
 
 DEFAULT_PAGE_SIZE = 64 * 1024
+
+#: Supported page-materialisation modes.
+PAGER_MODES = ("buffered", "mmap")
 
 
 @dataclass
@@ -44,6 +80,7 @@ class IOStatistics:
     seeks: int = 0
 
     def merge(self, other: "IOStatistics") -> "IOStatistics":
+        """A new :class:`IOStatistics` holding the sum of both operands."""
         return IOStatistics(
             bytes_read=self.bytes_read + other.bytes_read,
             bytes_written=self.bytes_written + other.bytes_written,
@@ -51,6 +88,50 @@ class IOStatistics:
             pages_written=self.pages_written + other.pages_written,
             seeks=self.seeks + other.seeks,
         )
+
+    def add(self, other: "IOStatistics") -> "IOStatistics":
+        """Accumulate ``other`` into ``self`` in place and return ``self``.
+
+        The allocation-free sibling of :meth:`merge`, for accumulation
+        loops (the collection, batch and service aggregators fold many
+        per-document counter updates through it without churning a fresh
+        dataclass per step).
+        """
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.pages_read += other.pages_read
+        self.pages_written += other.pages_written
+        self.seeks += other.seeks
+        return self
+
+    __iadd__ = add
+
+
+@dataclass(frozen=True)
+class PagerConfig:
+    """How scans materialise pages: access mode plus an optional shared pool.
+
+    ``mode`` is ``"buffered"`` (plain reads) or ``"mmap"`` (zero-copy
+    ``memoryview`` slices of a per-scan memory mapping).  ``pool`` is a
+    shared :class:`~repro.storage.bufferpool.BufferPool` consulted before
+    the file on every page access; it applies to buffered scans only (a
+    mapping already shares hot pages through the OS page cache).  Neither
+    setting changes the logical :class:`IOStatistics` of a scan.
+    """
+
+    mode: str = "buffered"
+    pool: "BufferPool | None" = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in PAGER_MODES:
+            names = ", ".join(PAGER_MODES)
+            raise StorageError(f"unknown pager mode {self.mode!r} (use one of: {names})")
+
+    def without_pool(self) -> "PagerConfig":
+        """This configuration minus the pool (for single-use temp files)."""
+        if self.pool is None:
+            return self
+        return PagerConfig(mode=self.mode)
 
 
 @dataclass
@@ -158,92 +239,310 @@ class BackwardPagedWriter:
             self._handle.close()
 
 
+# ---------------------------------------------------------------------- #
+# Scan-time page sources
+# ---------------------------------------------------------------------- #
+
+
+class _BufferedScanSource:
+    """Pages via ``read()``, optionally read-through a shared buffer pool."""
+
+    __slots__ = ("_path", "_page_size", "_file_size", "_pool", "_key_path",
+                 "_generation", "_handle", "_position")
+
+    def __init__(self, path: str, page_size: int, file_size: int,
+                 pool: "BufferPool | None"):
+        self._path = path
+        self._page_size = page_size
+        self._file_size = file_size
+        self._pool = pool
+        self._handle = None
+        self._position = 0
+        if pool is not None:
+            self._key_path = os.path.abspath(path)
+            self._generation = pool.generation_for(path)
+
+    def page(self, index: int):
+        base = index * self._page_size
+        length = min(self._page_size, self._file_size - base)
+        pool = self._pool
+        if pool is None:
+            return memoryview(self._read(base, length))
+        return memoryview(
+            pool.read_page(
+                self._key_path, self._generation, self._page_size, index,
+                lambda: self._read(base, length),
+            )
+        )
+
+    def _read(self, base: int, length: int) -> bytes:
+        handle = self._handle
+        if handle is None:
+            handle = self._handle = open(self._path, "rb")
+            self._position = 0
+        if self._position != base:
+            handle.seek(base)
+        data = handle.read(length)
+        self._position = base + len(data)
+        if len(data) != length:
+            raise StorageError(f"{self._path}: short page read (file changed mid-scan?)")
+        return data
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+
+class _MmapScanSource:
+    """Zero-copy pages: ``memoryview`` slices of a per-scan memory mapping."""
+
+    __slots__ = ("_view", "_page_size", "_file_size")
+
+    def __init__(self, path: str, page_size: int, file_size: int):
+        with open(path, "rb") as handle:
+            # The mapping outlives the descriptor.  Slices handed to
+            # consumers keep the map alive by reference; an explicit
+            # mmap.close() would raise BufferError while any is exported,
+            # so the map is reclaimed by reference counting instead.
+            mapped = _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+        self._view = memoryview(mapped)
+        self._page_size = page_size
+        self._file_size = file_size
+
+    def page(self, index: int):
+        base = index * self._page_size
+        return self._view[base:min(base + self._page_size, self._file_size)]
+
+    def close(self) -> None:
+        view, self._view = self._view, None
+        if view is not None:
+            view.release()
+
+
 class PagedReader:
     """Page-buffered reader of fixed-size records, forward or backward.
 
     The reader is strictly sequential within one scan; creating a new scan
-    (calling :meth:`records_forward` / :meth:`records_backward` again) counts
-    one seek, as would happen with a real file descriptor repositioned to the
-    start or end of the file.
+    (calling :meth:`records_forward` / :meth:`records_backward` /
+    :meth:`unpack_forward` / :meth:`unpack_backward`) counts one seek, as
+    would happen with a real file descriptor repositioned to the start or
+    end of the file.  ``config`` selects the page source (buffered reads,
+    a shared buffer pool, or an mmap) without changing any counter.
+
+    Records are yielded as zero-copy ``memoryview`` slices of the page
+    buffers wherever possible (plain ``bytes`` only for records straddling
+    a page boundary); consumers that hold on to records beyond the scan
+    should copy them with ``bytes(record)``.
     """
 
     def __init__(self, path: str, page_size: int = DEFAULT_PAGE_SIZE,
-                 stats: IOStatistics | None = None):
+                 stats: IOStatistics | None = None,
+                 config: PagerConfig | None = None):
         if not os.path.exists(path):
             raise StorageError(f"no such file: {path}")
         self.path = path
         self.page_size = page_size
         self.stats = stats if stats is not None else IOStatistics()
+        self.config = config if config is not None else PagerConfig()
         self.file_size = os.path.getsize(path)
 
+    # ------------------------------------------------------------------ #
+    # Record streams
     # ------------------------------------------------------------------ #
 
     def records_forward(self, record_size: int, offset: int = 0, count: int | None = None):
         """Yield fixed-size records from ``offset`` towards the end of the file."""
-        if record_size <= 0:
-            raise StorageError("record_size must be positive")
-        total = (self.file_size - offset) // record_size if count is None else count
+        total = self._forward_total(record_size, offset, count)
         self.stats.seeks += 1
-        with open(self.path, "rb") as handle:
-            handle.seek(offset)
-            emitted = 0
-            leftover = b""
-            while emitted < total:
-                page = handle.read(self.page_size)
-                if not page:
-                    break
-                self.stats.bytes_read += len(page)
-                self.stats.pages_read += 1
-                data = leftover + page
-                usable = len(data) - (len(data) % record_size)
-                for position in range(0, usable, record_size):
-                    if emitted >= total:
-                        break
-                    yield data[position : position + record_size]
-                    emitted += 1
-                leftover = data[usable:]
-            if emitted < total:
-                raise StorageError(
-                    f"{self.path}: expected {total} records of {record_size} bytes, got {emitted}"
-                )
+        for view, start, n in self._walk_forward(record_size, offset, total):
+            if view is None:
+                yield start
+            else:
+                end = start + n * record_size
+                for position in range(start, end, record_size):
+                    yield view[position:position + record_size]
 
     def records_backward(self, record_size: int, count: int | None = None):
         """Yield fixed-size records from the end of the file towards the start."""
+        total, usable = self._backward_total(record_size, count)
+        self.stats.seeks += 1
+        for view, start, n in self._walk_backward(record_size, total, usable):
+            if view is None:
+                yield start
+            else:
+                position = start + n * record_size
+                for _ in range(n):
+                    position -= record_size
+                    yield view[position:position + record_size]
+
+    # ------------------------------------------------------------------ #
+    # Batched struct decoding
+    # ------------------------------------------------------------------ #
+
+    def unpack_forward(self, fmt: struct.Struct, offset: int = 0,
+                       count: int | None = None) -> Iterator[tuple]:
+        """Decode records forward with one ``iter_unpack`` per in-page span.
+
+        Yields what ``fmt.unpack`` would per record, but the per-record
+        Python-level slicing and unpacking is replaced by one C-level
+        ``fmt.iter_unpack`` call per page -- the fast path of every `.arb`
+        and state-file scan.
+        """
+        record_size = fmt.size
+        total = self._forward_total(record_size, offset, count)
+        self.stats.seeks += 1
+        for view, start, n in self._walk_forward(record_size, offset, total):
+            if view is None:
+                yield fmt.unpack(start)
+            else:
+                yield from fmt.iter_unpack(view[start:start + n * record_size])
+
+    def unpack_backward(self, fmt: struct.Struct, count: int | None = None) -> Iterator[tuple]:
+        """Decode records backward with one ``iter_unpack`` per in-page span."""
+        record_size = fmt.size
+        total, usable = self._backward_total(record_size, count)
+        self.stats.seeks += 1
+        for view, start, n in self._walk_backward(record_size, total, usable):
+            if view is None:
+                yield fmt.unpack(start)
+            else:
+                values = list(fmt.iter_unpack(view[start:start + n * record_size]))
+                yield from reversed(values)
+
+    # ------------------------------------------------------------------ #
+    # The shared page walks
+    # ------------------------------------------------------------------ #
+
+    def _forward_total(self, record_size: int, offset: int, count: int | None) -> int:
         if record_size <= 0:
             raise StorageError("record_size must be positive")
-        usable_size = self.file_size - (self.file_size % record_size)
-        total = usable_size // record_size if count is None else count
-        self.stats.seeks += 1
-        with open(self.path, "rb") as handle:
-            position = usable_size
-            emitted = 0
-            buffer = b""
-            buffer_start = position
-            # Read whole pages that are record-aligned so that backward
-            # iteration never has to stitch a record across two reads.
-            aligned_page = max(self.page_size // record_size, 1) * record_size
-            while emitted < total:
-                if buffer_start >= position or not buffer:
-                    read_size = min(aligned_page, position)
-                    if read_size == 0:
-                        break
-                    buffer_start = position - read_size
-                    handle.seek(buffer_start)
-                    buffer = handle.read(read_size)
-                    self.stats.bytes_read += len(buffer)
-                    self.stats.pages_read += 1
-                # Emit records from the tail of the buffer.
-                in_buffer = (position - buffer_start) // record_size
-                for index in range(in_buffer - 1, -1, -1):
-                    if emitted >= total:
-                        break
-                    start = index * record_size
-                    yield buffer[start : start + record_size]
+        if count is not None:
+            return count
+        return max(0, self.file_size - offset) // record_size
+
+    def _backward_total(self, record_size: int, count: int | None) -> tuple[int, int]:
+        if record_size <= 0:
+            raise StorageError("record_size must be positive")
+        usable = self.file_size - (self.file_size % record_size)
+        total = usable // record_size if count is None else count
+        return total, usable
+
+    def _open_source(self):
+        if self.config.mode == "mmap":
+            return _MmapScanSource(self.path, self.page_size, self.file_size)
+        return _BufferedScanSource(self.path, self.page_size, self.file_size,
+                                   self.config.pool)
+
+    def _walk_forward(self, record_size: int, offset: int, total: int):
+        """Yield ``(view, start, n_records)`` spans in forward order.
+
+        Straddling records are assembled and yielded as ``(None, bytes, 1)``.
+        Every page on the canonical grid is fetched at most once and counted
+        exactly when fetched, whatever the source.
+        """
+        if total <= 0:
+            return
+        page_size = self.page_size
+        stats = self.stats
+        n_pages = (self.file_size + page_size - 1) // page_size
+        first_page = offset // page_size
+        source = None
+        emitted = 0
+        carry = bytearray()
+        try:
+            for page_index in range(first_page, n_pages):
+                if source is None:
+                    source = self._open_source()
+                view = source.page(page_index)
+                stats.bytes_read += len(view)
+                stats.pages_read += 1
+                start = offset - page_index * page_size if page_index == first_page else 0
+                if start >= len(view):
+                    continue
+                if carry:
+                    take = min(record_size - len(carry), len(view) - start)
+                    carry += view[start:start + take]
+                    start += take
+                    if len(carry) < record_size:
+                        continue
+                    yield None, bytes(carry), 1
+                    carry.clear()
                     emitted += 1
-                    position -= record_size
-                if position == 0:
-                    break
-            if emitted < total:
-                raise StorageError(
-                    f"{self.path}: expected {total} records of {record_size} bytes, got {emitted}"
-                )
+                    if emitted >= total:
+                        return
+                span = (len(view) - start) // record_size
+                if span > total - emitted:
+                    span = total - emitted
+                if span:
+                    yield view, start, span
+                    emitted += span
+                    if emitted >= total:
+                        return
+                    start += span * record_size
+                if start < len(view):
+                    carry += view[start:]
+            raise StorageError(
+                f"{self.path}: expected {total} records of {record_size} bytes, got {emitted}"
+            )
+        finally:
+            if source is not None:
+                source.close()
+
+    def _walk_backward(self, record_size: int, total: int, usable: int):
+        """Yield ``(view, start, n_records)`` spans in backward order.
+
+        A span's records must be consumed from its high end downwards;
+        straddling records are assembled and yielded as ``(None, bytes, 1)``.
+        """
+        if total <= 0:
+            return
+        if usable <= 0:
+            raise StorageError(
+                f"{self.path}: expected {total} records of {record_size} bytes, got 0"
+            )
+        page_size = self.page_size
+        stats = self.stats
+        source = None
+        emitted = 0
+        pending: list = []  # segments of the straddler being assembled, high to low
+        rec_end = usable
+        try:
+            for page_index in range((usable - 1) // page_size, -1, -1):
+                if source is None:
+                    source = self._open_source()
+                view = source.page(page_index)
+                stats.bytes_read += len(view)
+                stats.pages_read += 1
+                base = page_index * page_size
+                if pending:
+                    rec_start = rec_end - record_size
+                    pending.append(view[max(rec_start - base, 0):len(view)])
+                    if rec_start < base:
+                        continue  # the record reaches below this page too
+                    yield None, b"".join(reversed(pending)), 1
+                    pending.clear()
+                    emitted += 1
+                    rec_end = rec_start
+                    if emitted >= total:
+                        return
+                span = (rec_end - base) // record_size
+                if span > total - emitted:
+                    span = total - emitted
+                if span:
+                    start = rec_end - base - span * record_size
+                    yield view, start, span
+                    emitted += span
+                    rec_end -= span * record_size
+                    if emitted >= total:
+                        return
+                if rec_end > base:
+                    # A record straddles this page's lower boundary; hold its
+                    # top part until the lower page(s) provide the rest.
+                    pending.append(view[0:rec_end - base])
+            raise StorageError(
+                f"{self.path}: expected {total} records of {record_size} bytes, got {emitted}"
+            )
+        finally:
+            if source is not None:
+                source.close()

@@ -16,6 +16,7 @@
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 from repro.errors import StorageFormatError
@@ -25,12 +26,46 @@ __all__ = [
     "NodeRecord",
     "encode_node",
     "decode_node",
+    "decode_node_value",
     "encode_event",
     "decode_event",
+    "decode_event_value",
     "max_label_index",
+    "record_struct",
+    "node_record_table",
 ]
 
 DEFAULT_RECORD_SIZE = 2
+
+#: Big-endian unsigned formats for the record sizes that map onto a single
+#: struct code.  Scans over these sizes decode whole pages with one
+#: ``iter_unpack`` call; other sizes fall back to per-record decoding.
+_RECORD_STRUCTS = {
+    1: struct.Struct(">B"),
+    2: struct.Struct(">H"),
+    4: struct.Struct(">I"),
+    8: struct.Struct(">Q"),
+}
+
+#: Shared decoded-record memo tables, one per record size.  A record value
+#: space is tiny (distinct ``(label, flags)`` combinations), so interning the
+#: immutable :class:`NodeRecord` per raw value turns per-record decoding into
+#: a dict hit.  Concurrent scans may race on a missing entry; both sides
+#: compute an equal record, so last-write-wins is harmless.
+_NODE_TABLES: dict[int, dict[int, "NodeRecord"]] = {}
+
+
+def record_struct(record_size: int) -> struct.Struct | None:
+    """The single-code struct for ``record_size`` bytes, or ``None``."""
+    return _RECORD_STRUCTS.get(record_size)
+
+
+def node_record_table(record_size: int) -> dict[int, "NodeRecord"]:
+    """The shared raw-value -> :class:`NodeRecord` memo for ``record_size``."""
+    table = _NODE_TABLES.get(record_size)
+    if table is None:
+        table = _NODE_TABLES.setdefault(record_size, {})
+    return table
 
 
 def max_label_index(record_size: int = DEFAULT_RECORD_SIZE) -> int:
@@ -67,11 +102,8 @@ def encode_node(
     return value.to_bytes(record_size, "big")
 
 
-def decode_node(data: bytes, record_size: int = DEFAULT_RECORD_SIZE) -> NodeRecord:
-    """Decode one node record produced by :func:`encode_node`."""
-    if len(data) != record_size:
-        raise StorageFormatError(f"expected {record_size} bytes, got {len(data)}")
-    value = int.from_bytes(data, "big")
+def decode_node_value(value: int, record_size: int = DEFAULT_RECORD_SIZE) -> NodeRecord:
+    """Decode one node record already read as an unsigned big-endian int."""
     first_bit = 1 << (8 * record_size - 1)
     second_bit = 1 << (8 * record_size - 2)
     return NodeRecord(
@@ -79,6 +111,13 @@ def decode_node(data: bytes, record_size: int = DEFAULT_RECORD_SIZE) -> NodeReco
         has_first_child=bool(value & first_bit),
         has_second_child=bool(value & second_bit),
     )
+
+
+def decode_node(data: bytes, record_size: int = DEFAULT_RECORD_SIZE) -> NodeRecord:
+    """Decode one node record produced by :func:`encode_node`."""
+    if len(data) != record_size:
+        raise StorageFormatError(f"expected {record_size} bytes, got {len(data)}")
+    return decode_node_value(int.from_bytes(data, "big"), record_size)
 
 
 def encode_event(label_index: int, is_end: bool, record_size: int = DEFAULT_RECORD_SIZE) -> bytes:
@@ -92,10 +131,14 @@ def encode_event(label_index: int, is_end: bool, record_size: int = DEFAULT_RECO
     return value.to_bytes(record_size, "big")
 
 
+def decode_event_value(value: int, record_size: int = DEFAULT_RECORD_SIZE) -> tuple[int, bool]:
+    """Decode an event record already read as an unsigned big-endian int."""
+    end_bit = 1 << (8 * record_size - 1)
+    return value & (end_bit - 1), bool(value & end_bit)
+
+
 def decode_event(data: bytes, record_size: int = DEFAULT_RECORD_SIZE) -> tuple[int, bool]:
     """Decode an event record; returns ``(label_index, is_end)``."""
     if len(data) != record_size:
         raise StorageFormatError(f"expected {record_size} bytes, got {len(data)}")
-    value = int.from_bytes(data, "big")
-    end_bit = 1 << (8 * record_size - 1)
-    return value & (end_bit - 1), bool(value & end_bit)
+    return decode_event_value(int.from_bytes(data, "big"), record_size)

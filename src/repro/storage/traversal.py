@@ -12,6 +12,14 @@ stack whose depth is bounded by the depth of the *unranked* XML tree:
 The "values" are arbitrary; the disk query engine threads automaton states
 through them, the structure checker threads node counts, etc.  Both functions
 report the maximum stack depth so tests and benchmarks can verify the bound.
+
+Record decoding is page-batched underneath
+(:meth:`~repro.storage.database.ArbDatabase.records_forward` /
+``records_backward`` unpack whole pages with one ``iter_unpack`` call and
+intern the decoded :class:`NodeRecord` values), so the per-node cost here is
+the ``visit`` callback, not the decoding; the database's
+:class:`~repro.storage.paging.PagerConfig` (buffered / mmap / buffer pool)
+selects how the pages are materialised without changing ``io``.
 """
 
 from __future__ import annotations

@@ -18,7 +18,7 @@ import random
 
 import pytest
 
-from repro import Collection, EvaluationStatistics, PlanCache
+from repro import Collection, EvaluationStatistics, IOStatistics, PlanCache
 from repro.collection.result import CollectionQueryResult
 from repro.errors import EvaluationError
 
@@ -86,6 +86,46 @@ def test_merged_equal_but_distinct_objects_still_sum():
     # to have equal counters are two runs.
     a, b = _stats(), _stats()
     assert EvaluationStatistics.merged([a, b]).selected == 2 * a.selected
+
+
+# --------------------------------------------------------------------------- #
+# IOStatistics: in-place accumulation
+# --------------------------------------------------------------------------- #
+
+
+def _io(**overrides) -> IOStatistics:
+    base = dict(bytes_read=100, bytes_written=10, pages_read=4, pages_written=1, seeks=2)
+    base.update(overrides)
+    return IOStatistics(**base)
+
+
+def test_add_matches_merge_but_mutates_in_place():
+    accumulator, other = _io(), _io(bytes_read=50, seeks=1)
+    expected = accumulator.merge(other)
+    returned = accumulator.add(other)
+    assert returned is accumulator  # in place: the pool's per-page fold
+    assert accumulator == expected
+    # The right-hand operand is untouched.
+    assert other == _io(bytes_read=50, seeks=1)
+
+
+def test_iadd_is_add():
+    accumulator = _io()
+    alias = accumulator
+    accumulator += _io()
+    assert accumulator is alias  # += never rebinds to a fresh dataclass
+    assert accumulator == _io().merge(_io())
+
+
+def test_add_folds_like_sum():
+    parts = [_io(pages_read=index) for index in range(7)]
+    folded = IOStatistics()
+    for part in parts:
+        folded += part
+    merged = IOStatistics()
+    for part in parts:
+        merged = merged.merge(part)
+    assert folded == merged
 
 
 # --------------------------------------------------------------------------- #
