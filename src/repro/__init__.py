@@ -25,6 +25,13 @@ from repro.storage.bufferpool import BufferPool, default_buffer_pool, resolve_pa
 from repro.storage.database import ArbDatabase
 from repro.storage.disk_engine import DiskQueryEngine
 from repro.storage.paging import IOStatistics, PagerConfig
+from repro.storage.update import (
+    DeleteSubtree,
+    InsertSubtree,
+    Relabel,
+    UpdateResult,
+    UpdateStatistics,
+)
 from repro.tmnf.program import TMNFProgram
 from repro.tree.binary import BinaryTree
 from repro.tree.unranked import UnrankedNode, UnrankedTree
@@ -60,6 +67,11 @@ __all__ = [
     "IOStatistics",
     "default_buffer_pool",
     "resolve_pager",
+    "Relabel",
+    "DeleteSubtree",
+    "InsertSubtree",
+    "UpdateResult",
+    "UpdateStatistics",
     "BinaryTree",
     "UnrankedTree",
     "UnrankedNode",

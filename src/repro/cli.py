@@ -21,7 +21,15 @@ Subcommands
     linear scans of the `.arb` file, however many queries it holds.
 
 ``arb stats DATABASE``
-    Print the stored metadata of an `.arb` database.
+    Print the stored metadata of an `.arb` database, including its current
+    generation and the generations still on disk.
+
+``arb update DATABASE (--relabel NODE LABEL | --delete NODE | --insert PARENT XML)``
+    Apply one copy-on-write update: a new `.arb` generation is spliced from
+    the current one beside it and the generation pointer is swapped
+    atomically, so concurrent readers keep their snapshot.  ``--at`` picks
+    the child position for ``--insert`` (default: append); ``--retain N``
+    prunes all but the newest N generations afterwards.
 
 ``arb collection build ROOT XML [XML ...]``
     Create (or extend) a document collection at ``ROOT``: one `.arb`
@@ -52,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import os
 import sys
 
 from repro.collection import EXECUTORS, Collection
@@ -102,6 +111,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = subparsers.add_parser("stats", help="print metadata of an .arb database")
     stats.add_argument("database", help=".arb base path")
+
+    update = subparsers.add_parser(
+        "update", help="apply a copy-on-write update (new generation + atomic swap)"
+    )
+    update.add_argument("database", help=".arb base path")
+    ugroup = update.add_mutually_exclusive_group(required=True)
+    ugroup.add_argument("--relabel", nargs=2, metavar=("NODE", "LABEL"),
+                        help="give node NODE the label LABEL")
+    ugroup.add_argument("--delete", type=int, metavar="NODE",
+                        help="delete node NODE and its whole subtree")
+    ugroup.add_argument("--insert", nargs=2, metavar=("PARENT", "XML"),
+                        help="insert an XML fragment (inline or a file path) "
+                             "as a child of node PARENT")
+    update.add_argument("--at", type=int, default=None, metavar="POSITION",
+                        help="child position for --insert (default: append last)")
+    update.add_argument("--text", action="store_true",
+                        help="treat the --relabel label as character data")
+    update.add_argument("--text-mode", choices=("chars", "node", "ignore"),
+                        default="chars",
+                        help="how to model text inside --insert fragments")
+    update.add_argument("--retain", type=int, default=None, metavar="N",
+                        help="prune history to the newest N generations after the swap")
 
     collection = subparsers.add_parser(
         "collection", help="manage and query a sharded document collection"
@@ -422,14 +453,58 @@ def _command_client(args: argparse.Namespace) -> int:
 
 
 def _command_stats(args: argparse.Namespace) -> int:
+    from repro.storage.generations import list_generations, read_pointer
+
     database = ArbDatabase.open(args.database)
-    print(f"base path    : {database.base_path}")
+    pointer = read_pointer(database.logical_base_path)
+    on_disk = list_generations(database.logical_base_path)
+    print(f"base path    : {database.logical_base_path}")
+    print(f"generation   : {database.generation} "
+          f"(change counter {pointer.counter}, on disk: "
+          + " ".join(str(gen) for gen in on_disk) + ")")
     print(f"nodes        : {database.n_nodes}")
     print(f"record size  : {database.record_size} bytes")
     print(f"element nodes: {database.element_nodes}")
     print(f"char nodes   : {database.char_nodes}")
     print(f"tags         : {database.labels.n_tags}")
     print(f".arb size    : {database.file_size()} bytes")
+    return 0
+
+
+def _parse_node_id(text: str, what: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise ReproError(f"{what} must be a node id (an integer), got {text!r}") from None
+
+
+def _command_update(args: argparse.Namespace) -> int:
+    from repro.storage.update import DeleteSubtree, InsertSubtree, Relabel, apply_update
+
+    if args.relabel is not None:
+        node_text, label = args.relabel
+        update = Relabel(_parse_node_id(node_text, "--relabel NODE"), label,
+                         is_text=args.text)
+    elif args.delete is not None:
+        update = DeleteSubtree(args.delete)
+    else:
+        parent_text, xml = args.insert
+        if os.path.exists(xml):
+            with open(xml, "r", encoding="utf-8") as handle:
+                xml = handle.read()
+        update = InsertSubtree(_parse_node_id(parent_text, "--insert PARENT"), xml,
+                               position=args.at, text_mode=args.text_mode)
+    result = apply_update(args.database, update, retain_generations=args.retain)
+    stats = result.statistics
+    print(f"generation      : {result.old_generation} -> {result.new_generation} "
+          f"(change counter {result.counter})")
+    print(f"nodes           : {result.n_nodes} "
+          f"({result.element_nodes} element, {result.char_nodes} char)")
+    print(f"splice          : {stats.records_reencoded} records re-encoded, "
+          f"{stats.bytes_copied} bytes copied unchanged "
+          f"({stats.pages_spliced} chunks)")
+    print(f"analysis        : {'cached' if stats.analysis_cache_hit else 'one forward scan'}")
+    print(f"wall time       : {stats.seconds:.4f}s")
     return 0
 
 
@@ -443,6 +518,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_query(args)
         if args.command == "stats":
             return _command_stats(args)
+        if args.command == "update":
+            return _command_update(args)
         if args.command == "collection":
             return _command_collection(args)
         if args.command == "serve":

@@ -20,6 +20,7 @@ Example
 from __future__ import annotations
 
 import os
+import threading
 from typing import Iterator, Sequence
 
 from repro.collection.executor import run_collection_query
@@ -58,6 +59,11 @@ class Collection:
         self.root = os.path.abspath(root)
         self.manifest = manifest
         self.plan_cache = plan_cache if plan_cache is not None else default_plan_cache()
+        # Serialises apply() calls on this collection object: the per-base
+        # writer flock only covers same-document writers, but two applies to
+        # *different* documents still race on the shared manifest save
+        # (last save would persist a pre-replace snapshot: a lost update).
+        self._apply_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Opening / creating
@@ -108,6 +114,8 @@ class Collection:
         validate_doc_id(doc_id)
         if doc_id in self.manifest:
             raise StorageError(f"duplicate document id: {doc_id!r}")
+        from repro.storage.generations import read_pointer
+
         base = os.path.join(DOCUMENTS_DIR, doc_id)
         stats = build_database(source, os.path.join(self.root, base),
                                text_mode=text_mode, name=doc_id)
@@ -120,6 +128,7 @@ class Collection:
                 char_nodes=stats.char_nodes,
                 n_tags=stats.n_tags,
                 arb_bytes=stats.arb_file_size,
+                counter=read_pointer(os.path.join(self.root, base)).counter,
             )
         )
         if save:
@@ -151,6 +160,95 @@ class Collection:
         return self.manifest.save(self.root)
 
     # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+
+    def apply(self, doc_id: str, update, *, retain_generations: int | None = None):
+        """Apply an update (or a sequence) to one document, copy-on-write.
+
+        The document gains a new `.arb` generation (see
+        :mod:`repro.storage.update`); the manifest entry is replaced with
+        one carrying the new generation and node counts, and the manifest
+        is saved.  Collection queries that started before the swap keep
+        evaluating the generations they pinned at coordination time; new
+        queries see the new generation.  Returns the
+        :class:`~repro.storage.update.UpdateResult` (a list for a
+        sequence of operations).
+
+        A sequence is applied one operation at a time and the manifest is
+        advanced after **every** successful operation, so a mid-sequence
+        failure leaves the manifest pointing at the last generation that
+        actually landed -- never at a stale one.  Node ids are interpreted
+        against the generation the manifest records; a foreign writer
+        having advanced the document meanwhile is refused as a conflict.
+
+        ``retain_generations`` prunes history; keep it generous enough to
+        cover in-flight collection queries, which pin their generations at
+        coordination time and only open each document when its shard worker
+        reaches it (a pruned-away pinned generation fails that open).
+        """
+        from repro.collection.manifest import DocumentEntry as _Entry
+        from repro.storage.generations import exclusive_writer
+        from repro.storage.update import apply_update
+
+        with self._apply_lock, exclusive_writer(os.path.join(self.root, "collection")):
+            # Another *process* may have advanced other documents since this
+            # manifest was loaded; adopt its generation bumps so our save
+            # cannot roll them back (a collection-level lost update).  Local
+            # unsaved additions are kept -- only newer generations merge in.
+            self._adopt_saved_generations()
+            entry = self.manifest.get(doc_id)
+            base_path = entry.base_path(self.root)
+            sequence = isinstance(update, (list, tuple))
+            results: list = []
+            expected = entry.generation
+            # Counter 0 means an entry from before the counter existed:
+            # fall back to the generation-only guard for compatibility.
+            expected_counter = entry.counter or None
+            try:
+                for op in update if sequence else (update,):
+                    results.append(
+                        apply_update(base_path, op,
+                                     retain_generations=retain_generations,
+                                     expected_generation=expected,
+                                     expected_counter=expected_counter)
+                    )
+                    expected = results[-1].new_generation
+                    expected_counter = results[-1].counter
+            finally:
+                if results:
+                    latest = results[-1]
+                    self.manifest.replace(
+                        _Entry(
+                            doc_id=doc_id,
+                            base=entry.base,
+                            n_nodes=latest.n_nodes,
+                            element_nodes=latest.element_nodes,
+                            char_nodes=latest.char_nodes,
+                            n_tags=latest.n_tags,
+                            arb_bytes=latest.arb_bytes,
+                            generation=latest.new_generation,
+                            counter=latest.counter,
+                        )
+                    )
+                    self.manifest.save(self.root)
+            return results if sequence else results[0]
+
+    def _adopt_saved_generations(self) -> None:
+        """Merge newer per-document generations from the saved manifest."""
+        try:
+            saved = CollectionManifest.load(self.root)
+        except StorageError:
+            return
+        for entry in saved:
+            if entry.doc_id in self.manifest:
+                mine = self.manifest.get(entry.doc_id)
+                # The counter is the monotonic "newer" order; fall back to
+                # the generation number for counter-less legacy entries.
+                if (entry.counter, entry.generation) > (mine.counter, mine.generation):
+                    self.manifest.replace(entry)
+
+    # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
 
@@ -174,11 +272,15 @@ class Collection:
         return iter(self.manifest)
 
     def open_database(self, doc_id: str):
-        """A :class:`~repro.engine.Database` on one document, sharing the cache."""
+        """A :class:`~repro.engine.Database` on one document, sharing the cache.
+
+        The handle is pinned to the generation the manifest records -- the
+        same snapshot collection queries read.
+        """
         from repro.engine import Database
 
         entry = self.manifest.get(doc_id)
-        database = Database.open(entry.base_path(self.root))
+        database = Database.open(entry.base_path(self.root), generation=entry.generation)
         database.plan_cache = self.plan_cache
         return database
 

@@ -106,7 +106,11 @@ class _ShardTask:
     """Everything a worker needs; plain data so the process pool can pickle it."""
 
     shard_index: int
-    documents: list[tuple[str, str]]  # (doc_id, absolute base path)
+    #: ``(doc_id, absolute base path, pinned generation)`` -- the generation
+    #: is resolved once by the coordinator from the manifest, so every shard
+    #: of one call reads the same snapshot of every document, even while a
+    #: writer applies updates mid-query.
+    documents: list[tuple[str, str, int]]
     queries: list[str | TMNFProgram]
     language: str = "tmnf"
     query_predicate: str | tuple[str, ...] | None = None
@@ -151,8 +155,8 @@ def evaluate_shard(task: _ShardTask, cache: PlanCache | None = None) -> _ShardOu
     # All shards of one process share the default buffer pool, so a page one
     # worker read is a memory hit for every other scan of that document.
     pager = resolve_pager(task.pager_mode)
-    for doc_id, base_path in task.documents:
-        database = Database.open(base_path, pager=pager)
+    for doc_id, base_path, generation in task.documents:
+        database = Database.open(base_path, pager=pager, generation=generation)
         database.plan_cache = cache
         try:
             outcome.documents.append(
@@ -264,7 +268,10 @@ def run_collection_query(
     tasks = [
         _ShardTask(
             shard_index=index,
-            documents=[(entry.doc_id, entry.base_path(root)) for entry in shard],
+            documents=[
+                (entry.doc_id, entry.base_path(root), entry.generation)
+                for entry in shard
+            ],
             queries=list(queries),
             language=language,
             query_predicate=query_predicate,

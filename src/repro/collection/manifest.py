@@ -47,6 +47,18 @@ class DocumentEntry:
     char_nodes: int = 0
     n_tags: int = 0
     arb_bytes: int = 0
+    #: The document's current `.arb` generation.  Collection queries pin
+    #: this value per call (every shard of one query reads the same
+    #: generation), and :meth:`Collection.apply` advances it under the
+    #: manifest -- which makes the manifest the collection-level snapshot:
+    #: a coordinator that copied its entries before an update keeps
+    #: querying the generations it copied.
+    generation: int = 0
+    #: The pointer change counter the generation was created under.  The
+    #: stronger staleness guard for updates: it also moves on an in-place
+    #: rebuild, which resets ``generation`` to 0.  0 = unknown (an entry
+    #: written before this field existed).
+    counter: int = 0
 
     def base_path(self, root: str) -> str:
         """Absolute base path of the document's `.arb` files."""
@@ -88,6 +100,19 @@ class CollectionManifest:
         entry = self._entries.get(doc_id)
         if entry is None:
             raise StorageError(f"no such document in collection: {doc_id!r}")
+        return entry
+
+    def replace(self, entry: DocumentEntry) -> DocumentEntry:
+        """Swap in a new entry object for an existing document id.
+
+        Replacement (rather than field mutation) keeps update bookkeeping
+        race-free: concurrent readers that already snapshotted the entry
+        list keep their immutable old entries, exactly like `.arb` readers
+        keep their generation.
+        """
+        if entry.doc_id not in self._entries:
+            raise StorageError(f"no such document in collection: {entry.doc_id!r}")
+        self._entries[entry.doc_id] = entry
         return entry
 
     def __contains__(self, doc_id: object) -> bool:

@@ -106,7 +106,8 @@ class Database:
         return cls(binary=tree, name=name)
 
     @classmethod
-    def open(cls, base_path: str, *, pager: "PagerConfig | None" = None) -> "Database":
+    def open(cls, base_path: str, *, pager: "PagerConfig | None" = None,
+             generation: int | None = None) -> "Database":
         """Open an on-disk `.arb` database; queries will run in two linear scans.
 
         ``pager`` selects the scan path -- ``PagerConfig(mode="mmap")`` for
@@ -115,8 +116,18 @@ class Database:
         :func:`repro.storage.bufferpool.resolve_pager`).  Whatever the
         configuration, the reported I/O counters are identical; only
         wall-clock time changes.
+
+        Opening acquires a snapshot: the database's generation pointer is
+        resolved here, once, and every scan this object ever runs reads
+        that generation -- concurrent :meth:`apply` calls (from other
+        handles, threads or processes) never change the answers of an open
+        handle.  ``generation`` pins an explicit generation instead;
+        :meth:`refresh` re-resolves the pointer in place.
         """
-        return cls(disk=ArbDatabase.open(base_path, pager=pager), name=str(base_path))
+        return cls(
+            disk=ArbDatabase.open(base_path, pager=pager, generation=generation),
+            name=str(base_path),
+        )
 
     @classmethod
     def build(cls, source, base_path: str, *, text_mode: str = "chars", name: str = "",
@@ -143,6 +154,11 @@ class Database:
         if self._disk is not None:
             return self._disk.n_nodes
         return len(self._require_binary())
+
+    @property
+    def generation(self) -> int:
+        """The pinned `.arb` generation (0 for in-memory databases)."""
+        return self._disk.generation if self._disk is not None else 0
 
     def label(self, node: int) -> str:
         """The label of ``node``.
@@ -188,6 +204,77 @@ class Database:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------ #
+    # Updates (copy-on-write; on-disk databases only)
+    # ------------------------------------------------------------------ #
+
+    def refresh(self) -> "Database":
+        """Re-resolve the generation pointer and move this handle forward.
+
+        No-op for in-memory databases and when no update has landed.  Any
+        materialised in-memory mirror of an outdated generation is dropped.
+        """
+        if self._disk is None:
+            return self
+        disk = self._disk
+        current = ArbDatabase.open(
+            disk.logical_base_path, page_size=disk.page_size, pager=disk.pager
+        )
+        # Compare the change counter, not just the generation number: an
+        # in-place rebuild resets the generation to 0 while rewriting the
+        # files, and only the counter betrays it.
+        if (current.generation, current.change_counter) != (
+            disk.generation,
+            disk.change_counter,
+        ):
+            disk.close()
+            self._disk = current
+            self._binary = None
+            self._unranked = None
+        return self
+
+    def apply(self, update, *, retain_generations: int | None = None):
+        """Apply one update (or a sequence) copy-on-write; see
+        :mod:`repro.storage.update`.
+
+        Each operation writes a new `.arb` generation beside the current
+        one and atomically swaps the generation pointer; this handle then
+        :meth:`refresh`\\ es onto the new generation, while every *other*
+        open handle (and every in-flight scan) keeps its snapshot.  Returns
+        one :class:`~repro.storage.update.UpdateResult` for a single
+        operation, a list for a sequence.
+
+        The operations' node ids are interpreted against **this handle's**
+        pinned generation: if another writer advanced the database since
+        this handle (last) resolved the pointer, the apply is refused with
+        a conflict :class:`~repro.errors.StorageError` rather than
+        relabelling or deleting whatever now lives at those ids --
+        :meth:`refresh`, re-derive the ids, and retry.
+        """
+        from repro.storage.update import apply_update, apply_updates
+
+        if self._disk is None:
+            raise EvaluationError(
+                "updates apply to on-disk databases; build one with Database.build"
+            )
+        base = self._disk.logical_base_path
+        pinned = self._disk.generation
+        pinned_counter = self._disk.change_counter
+        try:
+            if isinstance(update, (list, tuple)):
+                result = apply_updates(
+                    base, update, retain_generations=retain_generations,
+                    expected_generation=pinned, expected_counter=pinned_counter,
+                )
+            else:
+                result = apply_update(
+                    base, update, retain_generations=retain_generations,
+                    expected_generation=pinned, expected_counter=pinned_counter,
+                )
+        finally:
+            self.refresh()
+        return result
 
     # ------------------------------------------------------------------ #
     # Planning

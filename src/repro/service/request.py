@@ -94,6 +94,8 @@ class ServiceStats:
     largest_batch: int = 0
     #: Batches that failed shared evaluation and were re-run one by one.
     isolation_retries: int = 0
+    #: Copy-on-write updates applied through :meth:`QueryService.apply`.
+    updates: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     #: Total `.arb` I/O, accumulated once per batch (never per request).
@@ -119,6 +121,7 @@ class ServiceStats:
             "largest_batch": self.largest_batch,
             "mean_batch_size": round(self.mean_batch_size, 3),
             "isolation_retries": self.isolation_retries,
+            "updates": self.updates,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "arb_pages_read": self.arb_io.pages_read,

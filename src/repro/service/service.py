@@ -283,6 +283,66 @@ class QueryService:
             self._batch_full.set()
         return await pending.future
 
+    # ------------------------------------------------------------------ #
+    # Applying updates
+    # ------------------------------------------------------------------ #
+
+    async def apply(
+        self,
+        update,
+        *,
+        doc_id: str | None = None,
+        retain_generations: int | None = None,
+    ):
+        """Apply a copy-on-write update to the served target.
+
+        The update runs on the service's single evaluation worker -- the
+        same thread that evaluates coalesced batches -- so it *serialises*
+        against batch demux by construction: every batch is evaluated
+        entirely before or entirely after the generation swap, which is
+        what guarantees one consistent generation per batch.  Database
+        targets refresh onto the new generation before the next batch;
+        collection targets (``doc_id`` required) advance the manifest, so
+        later coalesced batches pin the new generation per shard.
+
+        Returns the :class:`~repro.storage.update.UpdateResult` (a list
+        for a sequence of operations).
+        """
+        if not self._running:
+            raise ServiceClosedError("the query service is not running")
+
+        def _apply():
+            if isinstance(self.target, Collection):
+                if doc_id is None:
+                    raise ServiceError(
+                        "updating a collection target needs doc_id=..."
+                    )
+                return self.target.apply(
+                    doc_id, update, retain_generations=retain_generations
+                )
+            if doc_id is not None:
+                raise ServiceError("doc_id only applies to collection targets")
+            return self.target.apply(update, retain_generations=retain_generations)
+
+        result = await self._loop.run_in_executor(self._pool, _apply)
+        self._stats.updates += 1
+        return result
+
+    def apply_threadsafe(
+        self,
+        update,
+        *,
+        doc_id: str | None = None,
+        retain_generations: int | None = None,
+    ) -> Future:
+        """Submit an update from any thread (see :meth:`submit_threadsafe`)."""
+        if not self._running or self._loop is None:
+            raise ServiceClosedError("the query service is not running")
+        return asyncio.run_coroutine_threadsafe(
+            self.apply(update, doc_id=doc_id, retain_generations=retain_generations),
+            self._loop,
+        )
+
     def submit_threadsafe(
         self,
         query,

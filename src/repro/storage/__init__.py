@@ -4,10 +4,27 @@ from repro.storage.bufferpool import BufferPool, BufferPoolStats, default_buffer
 from repro.storage.build import BuildStatistics, DatabaseBuilder, build_database
 from repro.storage.database import ArbDatabase
 from repro.storage.disk_engine import DiskEvaluationResult, DiskQueryEngine
+from repro.storage.generations import (
+    GenerationPointer,
+    list_generations,
+    prune_generations,
+    read_pointer,
+    resolve_generation,
+)
 from repro.storage.labels import LabelTable
 from repro.storage.paging import IOStatistics, PagedReader, PagedWriter, PagerConfig
 from repro.storage.records import DEFAULT_RECORD_SIZE, NodeRecord, decode_node, encode_node
 from repro.storage.traversal import ScanResult, scan_bottom_up, scan_top_down
+from repro.storage.update import (
+    DeleteSubtree,
+    InsertSubtree,
+    Relabel,
+    UpdateResult,
+    UpdateStatistics,
+    apply_to_tree,
+    apply_update,
+    apply_updates,
+)
 
 __all__ = [
     "ArbDatabase",
@@ -31,4 +48,17 @@ __all__ = [
     "ScanResult",
     "scan_top_down",
     "scan_bottom_up",
+    "GenerationPointer",
+    "read_pointer",
+    "resolve_generation",
+    "list_generations",
+    "prune_generations",
+    "Relabel",
+    "DeleteSubtree",
+    "InsertSubtree",
+    "UpdateResult",
+    "UpdateStatistics",
+    "apply_update",
+    "apply_updates",
+    "apply_to_tree",
 ]

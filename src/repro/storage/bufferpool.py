@@ -19,11 +19,14 @@ readers with different page sizes must never see each other's slices.  The
 *generation* combines an explicit epoch counter -- bumped by
 :meth:`BufferPool.invalidate` whenever a database is rebuilt
 (``repro.storage.build`` bumps the default pool automatically) -- with the
-file's current ``(size, mtime_ns)`` fingerprint.  The epoch bump is the
-authoritative invalidation; the fingerprint is a safety net that also
-catches rebuilds a private pool was never told about (it can miss only a
-same-size rewrite inside one mtime tick on a filesystem with coarse
-timestamps, which the in-process epoch bump covers).
+file's ``(creation counter, size, mtime_ns)`` fingerprint.  The epoch bump
+is the authoritative in-process invalidation; the fingerprint is a safety
+net that also catches rebuilds a private pool was never told about.  The
+creation counter (the generation-pointer counter recorded in the ``.meta``
+sidecar, see :mod:`repro.storage.generations`) closes the historical hole
+where a same-size rewrite inside one mtime tick could collide: every build
+and update writes a strictly larger counter, so no two generations of a
+path ever share a fingerprint.
 
 Eviction is strict LRU over a byte budget; the pool is thread-safe (scans on
 any thread share it) and page loads run outside the lock so concurrent
@@ -38,6 +41,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.errors import StorageError
+from repro.storage.generations import creation_counter_of
 from repro.storage.paging import IOStatistics, PagerConfig
 
 __all__ = [
@@ -101,10 +105,18 @@ class BufferPool:
     # ------------------------------------------------------------------ #
 
     def generation_for(self, path: str) -> tuple:
-        """The current generation of ``path``: ``(epoch, size, mtime_ns)``.
+        """The current generation of ``path``: ``(epoch, counter, size, mtime_ns)``.
 
         The epoch changes on :meth:`invalidate`; the fingerprint changes on
         any rebuild of the file, so stale pages are unreachable either way.
+        The *counter* component is the generation-pointer counter recorded
+        in the file's ``.meta`` sidecar at creation time
+        (:mod:`repro.storage.generations`): it closes the one hole the
+        ``(size, mtime_ns)`` pair has -- a same-size rewrite landing inside
+        one mtime tick on a filesystem with coarse timestamps -- because
+        every build and update writes a strictly larger counter.  Files
+        without a sidecar (temp files, pre-counter databases) get counter 0
+        and keep the old fingerprint semantics.
         """
         path = os.path.abspath(path)
         try:
@@ -112,8 +124,9 @@ class BufferPool:
             fingerprint = (status.st_size, status.st_mtime_ns)
         except OSError:
             fingerprint = (-1, -1)
+        counter = creation_counter_of(path)
         with self._lock:
-            return (self._epochs.get(path, 0), *fingerprint)
+            return (self._epochs.get(path, 0), counter, *fingerprint)
 
     def epoch_of(self, path: str) -> int:
         """The explicit invalidation epoch of ``path`` (0 until first bump)."""

@@ -25,6 +25,15 @@ from typing import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.storage.bufferpool import invalidate_default_pool
+from repro.storage.generations import (
+    GenerationPointer,
+    exclusive_writer,
+    list_generations,
+    read_pointer,
+    remove_generation_files,
+    write_metadata,
+    write_pointer,
+)
 from repro.storage.labels import LabelTable
 from repro.storage.paging import BackwardPagedWriter, IOStatistics, PagedReader, PagedWriter
 from repro.storage.records import (
@@ -198,10 +207,26 @@ class DatabaseBuilder:
         stats.max_stack_depth = max_depth
         stats.seconds = time.perf_counter() - started
 
-        _write_metadata(base_path, n_nodes, self.record_size, stats)
-        # A rebuilt file must never be served from stale cached pages: bump
-        # its generation in the process-wide buffer pool (private pools are
-        # protected by the (size, mtime) fingerprint in every generation).
+        # A build (or rebuild) is change number counter+1 of this base path:
+        # the counter lands in the .meta sidecar (the buffer-pool fingerprint
+        # reads it, so even a same-size same-mtime-tick rewrite can never be
+        # served from stale cached pages) and the generation pointer is reset
+        # to the plain generation-0 files.  The counter bump and the stale-
+        # generation cleanup share the update subsystem's writer lock, so a
+        # rebuild racing a concurrent apply_update can neither allocate the
+        # same change number nor delete files the applier is mid-swap on.
+        with exclusive_writer(base_path):
+            counter = read_pointer(base_path).counter + 1
+            _write_metadata(base_path, n_nodes, self.record_size, stats, counter=counter)
+            write_pointer(base_path, GenerationPointer(generation=0, counter=counter))
+            # A rebuild starts a fresh document lineage: generation files of
+            # the superseded lineage would otherwise linger as bogus
+            # "history" for stats, pinned opens and pruning.
+            for generation in list_generations(base_path):
+                if generation != 0:
+                    remove_generation_files(base_path, generation)
+        # Belt and braces for the process-wide pool: the epoch bump drops any
+        # cached pages of the overwritten file immediately.
         invalidate_default_pool(arb_path)
         return stats
 
@@ -230,24 +255,28 @@ class _Frame:
     has_children: bool = False
 
 
-def _write_metadata(base_path: str, n_nodes: int, record_size: int, stats: BuildStatistics) -> None:
+def _write_metadata(base_path: str, n_nodes: int, record_size: int, stats: BuildStatistics,
+                    counter: int = 0) -> None:
     """Write the small `.meta` sidecar (node count, record size, Figure-5 counts).
 
     The paper's prototype derives the node count from the file size and fixes
     ``k = 2``; the sidecar keeps the format self-describing without changing
-    the `.arb` layout.
+    the `.arb` layout.  ``counter`` records which change of the base path
+    created these files (the generation-pointer counter), which is what the
+    buffer pool fingerprints pages by.  The schema itself lives in
+    :func:`repro.storage.generations.write_metadata`, shared with the
+    update subsystem's spliced generations.
     """
-    import json
-
-    payload = {
-        "n_nodes": n_nodes,
-        "record_size": record_size,
-        "element_nodes": stats.element_nodes,
-        "char_nodes": stats.char_nodes,
-        "n_tags": stats.n_tags,
-    }
-    with open(base_path + ".meta", "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
+    write_metadata(
+        base_path,
+        n_nodes=n_nodes,
+        record_size=record_size,
+        element_nodes=stats.element_nodes,
+        char_nodes=stats.char_nodes,
+        n_tags=stats.n_tags,
+        counter=counter,
+        generation=0,
+    )
 
 
 def build_database(source, base_path: str, *, record_size: int = DEFAULT_RECORD_SIZE,

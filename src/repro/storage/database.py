@@ -15,6 +15,13 @@ from dataclasses import dataclass, field
 from typing import Iterator
 
 from repro.errors import StorageError
+from repro.storage.generations import (
+    generation_base,
+    generation_of_base,
+    logical_base_of,
+    read_pointer,
+    resolve_logical_base,
+)
 from repro.storage.labels import LabelTable
 from repro.storage.paging import DEFAULT_PAGE_SIZE, IOStatistics, PagedReader, PagerConfig
 from repro.storage.records import (
@@ -43,8 +50,22 @@ class ArbDatabase:
     #: How scans materialise pages (buffered reads, shared buffer pool, or
     #: zero-copy mmap); never changes the logical I/O counters.
     pager: PagerConfig = field(default_factory=PagerConfig)
+    #: The user-facing base path (without any generation suffix) and the
+    #: generation this handle is pinned to.  A handle never re-resolves the
+    #: generation pointer: once opened, it is a snapshot.
+    logical_base_path: str = ""
+    generation: int = 0
+    #: The pointer's change counter observed at open time.  Unlike the
+    #: generation number, the counter also moves on an in-place rebuild
+    #: (which resets the generation to 0), so staleness checks compare it.
+    change_counter: int = 0
     # Lazily opened read handle for point lookups (see read_record).
     _point_handle: object = field(default=None, init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.logical_base_path:
+            self.logical_base_path = logical_base_of(self.base_path)
+            self.generation = generation_of_base(self.base_path)
 
     def close(self) -> None:
         """Close the point-lookup handle, if one was opened."""
@@ -58,16 +79,36 @@ class ArbDatabase:
 
     @classmethod
     def open(cls, base_path: str, page_size: int = DEFAULT_PAGE_SIZE,
-             pager: PagerConfig | None = None) -> "ArbDatabase":
+             pager: PagerConfig | None = None,
+             generation: int | None = None) -> "ArbDatabase":
         """Open ``<base_path>.arb`` (with its ``.lab`` and ``.meta`` companions).
 
         ``pager`` selects the scan path (``buffered``/``mmap``, optional
         shared buffer pool); the default is plain buffered reads.
+
+        Opening acquires a **snapshot**: the generation pointer of
+        ``base_path`` (if one exists -- see
+        :mod:`repro.storage.generations`) is resolved exactly once, here,
+        and the handle reads that generation's immutable files forever
+        after, however many updates land meanwhile.  ``generation`` pins an
+        explicit generation instead of the pointer's current one; a base
+        path already carrying a ``.g<N>`` suffix is likewise opened as-is.
         """
         if base_path.endswith(".arb"):
             base_path = base_path[: -len(".arb")]
-        arb_path = base_path + ".arb"
-        meta_path = base_path + ".meta"
+        # A name like "snapshot.g2" is only a generation of base "snapshot"
+        # if that base actually exists; otherwise it is its own base.
+        logical = resolve_logical_base(base_path)
+        pointer = read_pointer(logical)
+        if generation is not None:
+            gen_number, gen_base = generation, generation_base(logical, generation)
+        elif base_path != logical:
+            gen_number, gen_base = generation_of_base(base_path), base_path
+        else:
+            gen_number = pointer.generation
+            gen_base = generation_base(logical, gen_number)
+        arb_path = gen_base + ".arb"
+        meta_path = gen_base + ".meta"
         if not os.path.exists(arb_path):
             raise StorageError(f"no such database: {arb_path}")
         if os.path.exists(meta_path):
@@ -89,9 +130,9 @@ class ArbDatabase:
                 f"{arb_path}: size {os.path.getsize(arb_path)} does not match "
                 f"{n_nodes} records of {record_size} bytes"
             )
-        labels = LabelTable.load(base_path + ".lab", max_index=(1 << (8 * record_size - 2)) - 1)
+        labels = LabelTable.load(gen_base + ".lab", max_index=(1 << (8 * record_size - 2)) - 1)
         return cls(
-            base_path=base_path,
+            base_path=gen_base,
             n_nodes=n_nodes,
             record_size=record_size,
             labels=labels,
@@ -99,6 +140,9 @@ class ArbDatabase:
             char_nodes=char_nodes,
             page_size=page_size,
             pager=pager if pager is not None else PagerConfig(),
+            logical_base_path=logical,
+            generation=gen_number,
+            change_counter=pointer.counter,
         )
 
     # ------------------------------------------------------------------ #

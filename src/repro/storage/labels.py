@@ -81,9 +81,15 @@ class LabelTable:
     # Persistence
     # ------------------------------------------------------------------ #
 
-    def save(self, path: str) -> None:
+    def save(self, path: str, *, fsync: bool = False) -> None:
+        """Write the table; ``fsync`` forces it to stable storage (the update
+        subsystem needs every generation file durable before the pointer
+        swap)."""
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(" ".join(self._names))
+            if fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
 
     @classmethod
     def load(cls, path: str, max_index: int = (1 << 14) - 1) -> "LabelTable":

@@ -1,0 +1,864 @@
+"""Copy-on-write updates of `.arb` databases with snapshot-isolated readers.
+
+The paper treats the `.arb` file as a static artifact: build once, scan
+twice per query.  This module makes documents *mutable* without giving up
+any of that story.  An update -- relabel a node, delete a subtree, insert a
+subtree -- produces a **new generation** of the database beside the old one
+and atomically swaps the generation pointer (:mod:`repro.storage.generations`):
+
+* readers that already resolved the pointer keep scanning the immutable old
+  generation (their snapshot) to the end, untouched by the swap;
+* readers that open after the swap see the new generation;
+* a crash at *any* point before the swap leaves the old generation current
+  and byte-identical (the crash suite injects faults at every stage via the
+  ``REPRO_UPDATE_FAULT`` environment hook).
+
+The key observation that keeps updates cheap is a property of the encoding:
+in first-child/next-sibling pre-order, an unranked subtree is a *contiguous
+record range* ``[v, v + usize(v))``, and at most one record outside that
+range (the parent or left sibling that points at ``v``) ever needs its
+child/sibling flags patched.  A new generation is therefore emitted as a
+**splice of the old page grid**: the unchanged prefix and suffix are copied
+byte-for-byte in page-size chunks (never decoded), and only the affected
+record range plus up to one patch record is re-encoded.  Per update the old
+file is touched by one forward analysis scan plus one sequential splice
+copy -- the same "constant number of linear scans" discipline queries obey.
+The analysis of a generation is cached per ``(path, generation
+fingerprint)`` -- the update layer's analogue of plan-cache keying -- and a
+relabel derives its successor's analysis in memory (one array copy, no
+file scan), so relabel-heavy update streams pay the scan once.  (Query plans themselves never need generation
+keys: a :class:`~repro.plan.plan.QueryPlan` is document-independent by
+construction, which is precisely why plan-cache hits survive updates.)
+
+Node ids in update operations are pre-order indexes of the generation the
+update is applied to -- the same ids query results report -- and each
+applied operation advances the database by exactly one generation.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import StorageError
+from repro.storage.bufferpool import invalidate_default_pool
+from repro.storage.database import ArbDatabase
+from repro.storage.generations import (
+    GenerationPointer,
+    creation_counter_of,
+    exclusive_writer,
+    fsync_directory,
+    generation_base,
+    read_pointer,
+    resolve_logical_base,
+    write_metadata,
+    write_pointer,
+)
+from repro.storage.labels import LabelTable
+from repro.storage.paging import DEFAULT_PAGE_SIZE, IOStatistics
+from repro.storage.records import encode_node, max_label_index
+from repro.tree.unranked import UnrankedNode, UnrankedTree
+from repro.tree.xml_io import parse_xml
+
+__all__ = [
+    "DeleteSubtree",
+    "InsertSubtree",
+    "Relabel",
+    "UpdateResult",
+    "UpdateStatistics",
+    "FAULT_ENV",
+    "FAULT_EXIT_CODE",
+    "FAULT_POINTS",
+    "apply_to_tree",
+    "apply_update",
+    "apply_updates",
+    "fault_point",
+]
+
+
+# ---------------------------------------------------------------------- #
+# Update operations
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Relabel:
+    """Give node ``node`` the label ``label`` (structure unchanged).
+
+    ``is_text`` marks the new label as character data, which routes single
+    characters to the reserved character index range exactly as at build
+    time.
+    """
+
+    node: int
+    label: str
+    is_text: bool = False
+
+
+@dataclass(frozen=True)
+class DeleteSubtree:
+    """Delete node ``node`` and its whole (unranked) subtree.
+
+    The document root (node 0) cannot be deleted -- a database is never
+    empty.
+    """
+
+    node: int
+
+
+@dataclass(frozen=True)
+class InsertSubtree:
+    """Insert a new subtree as a child of ``parent``.
+
+    ``source`` is an XML fragment (a string, parsed with ``text_mode``) or
+    an :class:`~repro.tree.unranked.UnrankedTree`.  ``position`` is the
+    child index the new subtree lands at (``None`` appends after the last
+    existing child).
+    """
+
+    parent: int
+    source: "str | UnrankedTree"
+    position: int | None = None
+    text_mode: str = "chars"
+
+
+UpdateOp = Relabel | DeleteSubtree | InsertSubtree
+
+
+# ---------------------------------------------------------------------- #
+# Results and telemetry
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class UpdateStatistics:
+    """What one applied update cost, splice-level.
+
+    ``bytes_copied`` is the payload reused from the old generation without
+    decoding; ``records_reencoded`` counts the records actually re-emitted
+    (the affected range plus at most one flag patch).  ``io`` aggregates the
+    physical I/O of the analysis scan and the splice copy.
+    """
+
+    records_reencoded: int = 0
+    bytes_copied: int = 0
+    pages_spliced: int = 0
+    analysis_cache_hit: bool = False
+    seconds: float = 0.0
+    io: IOStatistics = field(default_factory=IOStatistics)
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of one applied update: where the database moved to."""
+
+    base_path: str
+    old_generation: int
+    new_generation: int
+    counter: int
+    n_nodes: int
+    element_nodes: int = 0
+    char_nodes: int = 0
+    n_tags: int = 0
+    arb_bytes: int = 0
+    statistics: UpdateStatistics = field(default_factory=UpdateStatistics)
+
+
+# ---------------------------------------------------------------------- #
+# Crash-fault injection
+# ---------------------------------------------------------------------- #
+
+#: Environment variable naming the fault point to die at (crash testing).
+FAULT_ENV = "REPRO_UPDATE_FAULT"
+
+#: Exit code of an injected crash (distinguishes it from real failures).
+FAULT_EXIT_CODE = 86
+
+#: The stages an update can be killed at, in execution order.
+FAULT_POINTS = (
+    "analysis",  # analysis done, nothing written yet
+    "mid-arb",  # first bytes of the new .arb written (torn file)
+    "after-arb",  # new .arb complete and fsynced
+    "after-files",  # .lab and .meta written too
+    "pointer-tmp",  # pointer temp file written, swap not yet performed
+    "after-swap",  # pointer atomically replaced
+)
+
+
+def fault_point(name: str) -> None:
+    """Die hard (``os._exit``) when ``REPRO_UPDATE_FAULT`` names this point.
+
+    ``os._exit`` skips every cleanup handler, which is the point: it models
+    a crash, not an orderly shutdown.  The crash suite asserts that whatever
+    stage the process died at, the old generation reopens byte-identical.
+    """
+    if os.environ.get(FAULT_ENV) == name:
+        os._exit(FAULT_EXIT_CODE)
+
+
+# ---------------------------------------------------------------------- #
+# Structure analysis (one forward scan, cached per generation)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _Structure:
+    """Decoded shape of one generation: enough to locate any splice.
+
+    All arrays are indexed by pre-order node id.  Instances are treated as
+    immutable once built (the per-generation cache hands the same object to
+    every interested update), except by :meth:`relabelled`, which copies
+    what it changes.
+    """
+
+    label_idx: list[int]
+    first_child: list[int]  # -1 when absent
+    second_child: list[int]  # -1 when absent
+    referrer: list[tuple[int, int]]  # (pointing node, 1=first/2=second); root (-1, 0)
+    bsize: list[int]  # binary-subtree sizes
+
+    @property
+    def n(self) -> int:
+        return len(self.label_idx)
+
+    def usize(self, node: int) -> int:
+        """Records of ``node``'s unranked subtree (node + its descendants)."""
+        first = self.first_child[node]
+        return 1 + (self.bsize[first] if first != -1 else 0)
+
+    def children_of(self, node: int) -> list[int]:
+        out = []
+        child = self.first_child[node]
+        while child != -1:
+            out.append(child)
+            child = self.second_child[child]
+        return out
+
+    def relabelled(self, node: int, new_index: int) -> "_Structure":
+        """The successor structure after relabelling ``node`` (O(n) copy of
+        one array, everything structural shared)."""
+        labels = list(self.label_idx)
+        labels[node] = new_index
+        return _Structure(
+            label_idx=labels,
+            first_child=self.first_child,
+            second_child=self.second_child,
+            referrer=self.referrer,
+            bsize=self.bsize,
+        )
+
+
+def _analyse(database: ArbDatabase, stats: IOStatistics) -> _Structure:
+    """One forward scan -> the full :class:`_Structure` of a generation."""
+    n = database.n_nodes
+    label_idx = [0] * n
+    first_child = [-1] * n
+    second_child = [-1] * n
+    referrer: list[tuple[int, int]] = [(-1, 0)] * n
+    awaiting_second: list[int] = []
+    attach_to: int | None = None
+    attach_which = 0
+    for index, record in enumerate(database.records_forward(stats=stats)):
+        label_idx[index] = record.label_index
+        if index > 0:
+            if attach_to is None:
+                if not awaiting_second:
+                    raise StorageError("corrupt database: dangling record")
+                parent = awaiting_second.pop()
+                second_child[parent] = index
+                referrer[index] = (parent, 2)
+            elif attach_which == 1:
+                first_child[attach_to] = index
+                referrer[index] = (attach_to, 1)
+            else:
+                second_child[attach_to] = index
+                referrer[index] = (attach_to, 2)
+        if record.has_first_child and record.has_second_child:
+            awaiting_second.append(index)
+            attach_to, attach_which = index, 1
+        elif record.has_first_child:
+            attach_to, attach_which = index, 1
+        elif record.has_second_child:
+            attach_to, attach_which = index, 2
+        else:
+            attach_to = None
+    # Children always follow their parent in pre-order, so one backward pass
+    # resolves every binary-subtree size bottom-up.
+    bsize = [1] * n
+    for index in range(n - 1, -1, -1):
+        size = 1
+        if first_child[index] != -1:
+            size += bsize[first_child[index]]
+        if second_child[index] != -1:
+            size += bsize[second_child[index]]
+        bsize[index] = size
+    return _Structure(label_idx, first_child, second_child, referrer, bsize)
+
+
+class _StructureCache:
+    """A tiny LRU of per-generation analyses, keyed by file fingerprint.
+
+    The key is ``(absolute .arb path, size, mtime_ns, meta counter)`` -- the
+    same freshness triple the buffer pool uses -- so a stale analysis can
+    never be applied to a rewritten file.  Entries are small (a few int
+    arrays) and generations are immutable, so a handful of slots suffice.
+    """
+
+    def __init__(self, capacity: int = 4):
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, _Structure] = {}
+        self._order: list[tuple] = []
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, arb_path: str) -> tuple | None:
+        try:
+            status = os.stat(arb_path)
+        except OSError:
+            return None
+        counter = creation_counter_of(arb_path)
+        return (os.path.abspath(arb_path), status.st_size, status.st_mtime_ns, counter)
+
+    def get(self, key: tuple | None) -> _Structure | None:
+        if key is None:
+            return None
+        with self._lock:
+            structure = self._entries.get(key)
+            if structure is None:
+                self.misses += 1
+                return None
+            self._order.remove(key)
+            self._order.append(key)
+            self.hits += 1
+            return structure
+
+    def put(self, key: tuple | None, structure: _Structure) -> None:
+        if key is None:
+            return
+        with self._lock:
+            if key not in self._entries:
+                self._order.append(key)
+            self._entries[key] = structure
+            while len(self._order) > self.capacity:
+                evicted = self._order.pop(0)
+                del self._entries[evicted]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._order.clear()
+
+
+#: Process-wide analysis cache shared by every update entry point.
+structure_cache = _StructureCache()
+
+
+# ---------------------------------------------------------------------- #
+# Edit computation
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _EditPlan:
+    """The splice an operation compiles to, in record-file byte terms."""
+
+    #: ``(byte offset, replaced byte length, replacement bytes)`` ascending,
+    #: non-overlapping.
+    edits: list[tuple[int, int, bytes]]
+    n_nodes_delta: int = 0
+    element_delta: int = 0
+    char_delta: int = 0
+    #: Successor structure, when derivable without a rescan (relabels).
+    derived: _Structure | None = None
+
+
+def _check_node(structure: _Structure, node: int, role: str) -> None:
+    if not 0 <= node < structure.n:
+        raise StorageError(
+            f"{role} {node} out of range (database has {structure.n} nodes)"
+        )
+
+
+def _compile_relabel(
+    op: Relabel, structure: _Structure, labels: LabelTable, record_size: int
+) -> _EditPlan:
+    _check_node(structure, op.node, "relabel target")
+    new_index = labels.index_of(op.label, is_text=op.is_text)
+    old_index = structure.label_idx[op.node]
+    record = encode_node(
+        new_index,
+        structure.first_child[op.node] != -1,
+        structure.second_child[op.node] != -1,
+        record_size,
+    )
+    old_char = labels.is_character_index(old_index)
+    new_char = labels.is_character_index(new_index)
+    return _EditPlan(
+        edits=[(op.node * record_size, record_size, record)],
+        element_delta=int(old_char) - int(new_char),
+        char_delta=int(new_char) - int(old_char),
+        derived=structure.relabelled(op.node, new_index),
+    )
+
+
+def _patch_record(
+    structure: _Structure,
+    node: int,
+    record_size: int,
+    *,
+    has_first: bool | None = None,
+    has_second: bool | None = None,
+) -> tuple[int, int, bytes]:
+    """A single-record edit flipping one child/sibling flag of ``node``."""
+    first = structure.first_child[node] != -1 if has_first is None else has_first
+    second = structure.second_child[node] != -1 if has_second is None else has_second
+    record = encode_node(structure.label_idx[node], first, second, record_size)
+    return (node * record_size, record_size, record)
+
+
+def _compile_delete(
+    op: DeleteSubtree, structure: _Structure, labels: LabelTable, record_size: int
+) -> _EditPlan:
+    _check_node(structure, op.node, "delete target")
+    if op.node == 0:
+        raise StorageError("cannot delete the document root (node 0)")
+    usize = structure.usize(op.node)
+    removed_chars = sum(
+        1
+        for index in range(op.node, op.node + usize)
+        if labels.is_character_index(structure.label_idx[index])
+    )
+    edits: list[tuple[int, int, bytes]] = []
+    if structure.second_child[op.node] == -1:
+        # No next sibling slides into the gap, so the node pointing at the
+        # deleted range loses its child/sibling flag.
+        pointer, which = structure.referrer[op.node]
+        if which == 1:
+            edits.append(_patch_record(structure, pointer, record_size, has_first=False))
+        else:
+            edits.append(_patch_record(structure, pointer, record_size, has_second=False))
+    edits.append((op.node * record_size, usize * record_size, b""))
+    return _EditPlan(
+        edits=edits,
+        n_nodes_delta=-usize,
+        element_delta=-(usize - removed_chars),
+        char_delta=-removed_chars,
+    )
+
+
+def _compile_insert(
+    op: InsertSubtree, structure: _Structure, labels: LabelTable, record_size: int
+) -> _EditPlan:
+    _check_node(structure, op.parent, "insert parent")
+    if isinstance(op.source, UnrankedTree):
+        subtree = op.source
+    else:
+        subtree = parse_xml(op.source, text_mode=op.text_mode)
+    children = structure.children_of(op.parent)
+    position = len(children) if op.position is None else op.position
+    if not 0 <= position <= len(children):
+        raise StorageError(
+            f"insert position {position} out of range "
+            f"(parent {op.parent} has {len(children)} children)"
+        )
+    edits: list[tuple[int, int, bytes]] = []
+    if position == 0:
+        offset_records = op.parent + 1
+        following = structure.first_child[op.parent]
+        if following == -1:
+            edits.append(
+                _patch_record(structure, op.parent, record_size, has_first=True)
+            )
+    else:
+        anchor = children[position - 1]
+        offset_records = anchor + structure.usize(anchor)
+        following = structure.second_child[anchor]
+        if following == -1:
+            edits.append(_patch_record(structure, anchor, record_size, has_second=True))
+    payload, n_new, n_chars = _encode_subtree(
+        subtree, labels, record_size, root_has_next_sibling=following != -1
+    )
+    edits.append((offset_records * record_size, 0, payload))
+    return _EditPlan(
+        edits=edits,
+        n_nodes_delta=n_new,
+        element_delta=n_new - n_chars,
+        char_delta=n_chars,
+    )
+
+
+def _encode_subtree(
+    tree: UnrankedTree,
+    labels: LabelTable,
+    record_size: int,
+    *,
+    root_has_next_sibling: bool,
+) -> tuple[bytes, int, int]:
+    """Encode a whole unranked subtree as contiguous pre-order records.
+
+    Returns ``(record bytes, node count, character-node count)``.  The
+    root's next-sibling flag is the caller's to decide (it depends on where
+    the subtree is spliced in); every inner sibling chain is self-contained.
+    """
+    out = bytearray()
+    n_nodes = 0
+    n_chars = 0
+    stack: list[tuple[UnrankedNode, bool]] = [(tree.root, root_has_next_sibling)]
+    while stack:
+        node, has_next = stack.pop()
+        index = labels.index_of(node.label, is_text=node.is_text)
+        out += encode_node(index, bool(node.children), has_next, record_size)
+        n_nodes += 1
+        if labels.is_character_index(index):
+            n_chars += 1
+        children = node.children
+        for position in range(len(children) - 1, -1, -1):
+            stack.append((children[position], position < len(children) - 1))
+    return bytes(out), n_nodes, n_chars
+
+
+def _compile_op(
+    op: UpdateOp, structure: _Structure, labels: LabelTable, record_size: int
+) -> _EditPlan:
+    if isinstance(op, Relabel):
+        return _compile_relabel(op, structure, labels, record_size)
+    if isinstance(op, DeleteSubtree):
+        return _compile_delete(op, structure, labels, record_size)
+    if isinstance(op, InsertSubtree):
+        return _compile_insert(op, structure, labels, record_size)
+    raise StorageError(f"unknown update operation: {op!r}")
+
+
+# ---------------------------------------------------------------------- #
+# The splice
+# ---------------------------------------------------------------------- #
+
+
+def _splice(
+    src_path: str,
+    dst_path: str,
+    file_size: int,
+    edits: list[tuple[int, int, bytes]],
+    stats: UpdateStatistics,
+    page_size: int,
+) -> None:
+    """Emit ``dst`` as ``src`` with ``edits`` applied, copying in page chunks.
+
+    The unchanged ranges are moved with plain buffered block copies on the
+    page grid -- no record ever gets decoded -- and the destination is
+    fsynced before returning, so a completed splice survives a crash
+    immediately after.
+    """
+    io = stats.io
+    first_write_pending = True
+
+    def wrote() -> None:
+        nonlocal first_write_pending
+        if first_write_pending:
+            first_write_pending = False
+            fault_point("mid-arb")
+
+    with open(src_path, "rb") as src, open(dst_path, "wb") as dst:
+        position = 0
+        for offset, old_length, replacement in edits:
+            if offset < position:
+                raise StorageError("internal error: overlapping splice edits")
+            _copy_range(src, dst, position, offset, page_size, stats, wrote)
+            if replacement:
+                dst.write(replacement)
+                io.bytes_written += len(replacement)
+                wrote()
+            position = offset + old_length
+        _copy_range(src, dst, position, file_size, page_size, stats, wrote)
+        dst.flush()
+        os.fsync(dst.fileno())
+
+
+def _copy_range(src, dst, start: int, end: int, page_size: int, stats, wrote) -> None:
+    if end <= start:
+        return
+    io = stats.io
+    src.seek(start)
+    io.seeks += 1
+    remaining = end - start
+    while remaining:
+        chunk = src.read(min(page_size, remaining))
+        if not chunk:
+            raise StorageError("short read while splicing (file changed mid-update?)")
+        dst.write(chunk)
+        remaining -= len(chunk)
+        stats.bytes_copied += len(chunk)
+        stats.pages_spliced += 1
+        io.bytes_read += len(chunk)
+        io.bytes_written += len(chunk)
+        io.pages_read += 1
+        io.pages_written += 1
+        wrote()
+
+
+# ---------------------------------------------------------------------- #
+# Applying updates
+# ---------------------------------------------------------------------- #
+
+
+def apply_update(
+    base_path: str,
+    update: UpdateOp,
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    retain_generations: int | None = None,
+    expected_generation: int | None = None,
+    expected_counter: int | None = None,
+) -> UpdateResult:
+    """Apply one update to the current generation of ``base_path``.
+
+    Writes generation files beside the current ones, fsyncs them, then
+    atomically swaps the generation pointer.  Readers holding the old
+    generation are untouched; a crash anywhere before the swap leaves the
+    pointer -- and every old byte -- exactly as it was.
+
+    ``retain_generations`` optionally prunes history after a successful
+    swap, keeping the new generation plus ``retain_generations - 1``
+    predecessors (generation 0 is always kept).  The default keeps
+    everything, which is what long-running pinned readers want.
+
+    Writers of one base path are serialised (threads via a per-base lock,
+    processes via an advisory ``flock`` on ``<base>.lock``); readers are
+    never blocked.  ``expected_generation`` is the optimistic-concurrency
+    guard: the operation's node ids were taken from that generation, and if
+    another writer moved the pointer meanwhile the ids may name different
+    nodes -- the apply is then refused with a conflict error instead of
+    silently mutating the wrong subtree.  ``expected_counter`` is the
+    stronger guard over the pointer's change counter, which also moves on
+    an in-place *rebuild* (a rebuild resets the generation to 0, so two
+    states can share a generation number but never a counter).  ``None``
+    applies unconditionally against whatever is current (the single-writer
+    CLI convention).
+    """
+    started = time.perf_counter()
+    if base_path.endswith(".arb"):
+        base_path = base_path[: -len(".arb")]
+    # Agree with ArbDatabase.open on what governs a suffixed path: updating
+    # through "doc.g3" must advance "doc", never fork a "doc.g3" lineage.
+    base_path = resolve_logical_base(base_path)
+    with exclusive_writer(base_path):
+        return _apply_locked(
+            base_path, update, page_size, retain_generations,
+            expected_generation, expected_counter, started,
+        )
+
+
+def _apply_locked(
+    base_path: str,
+    update: UpdateOp,
+    page_size: int,
+    retain_generations: int | None,
+    expected_generation: int | None,
+    expected_counter: int | None,
+    started: float,
+) -> UpdateResult:
+    from repro.storage.generations import prune_generations
+
+    pointer = read_pointer(base_path)
+    if expected_generation is not None and pointer.generation != expected_generation:
+        raise StorageError(
+            f"{base_path}: concurrent update conflict -- expected generation "
+            f"{expected_generation} but {pointer.generation} is current; "
+            f"node ids may be stale (refresh and retry)"
+        )
+    if expected_counter is not None and pointer.counter != expected_counter:
+        raise StorageError(
+            f"{base_path}: concurrent update conflict -- expected change "
+            f"counter {expected_counter} but {pointer.counter} is current "
+            f"(another update or rebuild landed); node ids may be stale "
+            f"(refresh and retry)"
+        )
+    old_base = generation_base(base_path, pointer.generation)
+    stats = UpdateStatistics()
+    database = ArbDatabase.open(old_base, page_size=page_size)
+    try:
+        record_size = database.record_size
+        old_arb = database.arb_path
+        cache_key = structure_cache.key_for(old_arb)
+        structure = structure_cache.get(cache_key)
+        if structure is None:
+            structure = _analyse(database, stats.io)
+            structure_cache.put(cache_key, structure)
+        else:
+            stats.analysis_cache_hit = True
+        labels = LabelTable.load(old_base + ".lab", max_index=max_label_index(record_size))
+        plan = _compile_op(update, structure, labels, record_size)
+    finally:
+        database.close()
+
+    new_counter = pointer.counter + 1
+    new_generation = new_counter  # the counter doubles as the allocator
+    new_base = generation_base(base_path, new_generation)
+    n_nodes = structure.n + plan.n_nodes_delta
+    if n_nodes <= 0:
+        raise StorageError("an update may not leave the database empty")
+    fault_point("analysis")
+
+    # ---- new .arb: splice of the old page grid --------------------------- #
+    _splice(old_arb, new_base + ".arb", database.file_size(), plan.edits, stats, page_size)
+    stats.records_reencoded = sum(
+        len(replacement) // record_size for _, _, replacement in plan.edits
+    )
+    fault_point("after-arb")
+
+    # ---- sidecars: .lab and .meta (durable before the swap) --------------- #
+    labels.save(new_base + ".lab", fsync=True)
+    element_nodes = database.element_nodes + plan.element_delta
+    char_nodes = database.char_nodes + plan.char_delta
+    write_metadata(
+        new_base,
+        n_nodes=n_nodes,
+        record_size=record_size,
+        element_nodes=element_nodes,
+        char_nodes=char_nodes,
+        n_tags=labels.n_tags,
+        counter=new_counter,
+        generation=new_generation,
+        parent_generation=pointer.generation,
+        fsync=True,
+    )
+    # A crashed earlier attempt may have left files under this generation
+    # number (the counter only advances at the swap); make sure no pool ever
+    # serves their pages now that the retry overwrote them.
+    invalidate_default_pool(new_base + ".arb")
+    # The new files' *directory entries* must be durable before a durable
+    # pointer can name them -- file-data fsyncs alone do not persist the
+    # dirents on a power loss.
+    fsync_directory(os.path.dirname(new_base) or ".")
+    fault_point("after-files")
+
+    # ---- the atomic swap -------------------------------------------------- #
+    write_pointer(
+        base_path,
+        GenerationPointer(generation=new_generation, counter=new_counter),
+        fault=fault_point,
+    )
+    fault_point("after-swap")
+
+    if plan.derived is not None:
+        structure_cache.put(structure_cache.key_for(new_base + ".arb"), plan.derived)
+    if retain_generations is not None:
+        prune_generations(base_path, retain_generations)
+    stats.seconds = time.perf_counter() - started
+    return UpdateResult(
+        base_path=base_path,
+        old_generation=pointer.generation,
+        new_generation=new_generation,
+        counter=new_counter,
+        n_nodes=n_nodes,
+        element_nodes=element_nodes,
+        char_nodes=char_nodes,
+        n_tags=labels.n_tags,
+        arb_bytes=n_nodes * record_size,
+        statistics=stats,
+    )
+
+
+def apply_updates(
+    base_path: str,
+    updates: Sequence[UpdateOp],
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    retain_generations: int | None = None,
+    expected_generation: int | None = None,
+    expected_counter: int | None = None,
+) -> list[UpdateResult]:
+    """Apply ``updates`` in order; each advances the database one generation.
+
+    Node ids in each operation refer to the generation produced by the
+    previous one (sequential semantics, like issuing the updates one by
+    one).  When ``expected_generation`` / ``expected_counter`` guard the
+    first operation, each later one expects its predecessor's result, so a
+    foreign writer slipping between two operations of the sequence is
+    detected too.
+    """
+    results = []
+    for update in updates:
+        result = apply_update(
+            base_path,
+            update,
+            page_size=page_size,
+            retain_generations=retain_generations,
+            expected_generation=expected_generation,
+            expected_counter=expected_counter,
+        )
+        expected_generation = result.new_generation
+        expected_counter = result.counter
+        results.append(result)
+    return results
+
+
+# ---------------------------------------------------------------------- #
+# Pure-tree mirror (reference semantics for tests and docs)
+# ---------------------------------------------------------------------- #
+
+
+def apply_to_tree(tree: UnrankedTree, update: UpdateOp) -> UnrankedTree:
+    """What ``update`` does, expressed on an in-memory unranked tree.
+
+    Returns a fresh tree (the input is never mutated).  This is the
+    executable specification the property suite holds the splice path to:
+    ``apply_update`` on disk must equal rebuild-from-scratch of
+    ``apply_to_tree``'s result.
+    """
+    copy = _copy_tree(tree)
+    nodes = list(copy.iter_nodes())  # pre-order: ids line up with .arb ids
+    parents: dict[int, UnrankedNode] = {}
+    for node in nodes:
+        for child in node.children:
+            parents[id(child)] = node
+    if isinstance(update, Relabel):
+        _check_tree_node(nodes, update.node, "relabel target")
+        target = nodes[update.node]
+        target.label = update.label
+        target.is_text = update.is_text
+        return copy
+    if isinstance(update, DeleteSubtree):
+        _check_tree_node(nodes, update.node, "delete target")
+        if update.node == 0:
+            raise StorageError("cannot delete the document root (node 0)")
+        target = nodes[update.node]
+        parents[id(target)].children.remove(target)
+        return copy
+    if isinstance(update, InsertSubtree):
+        _check_tree_node(nodes, update.parent, "insert parent")
+        if isinstance(update.source, UnrankedTree):
+            subtree = _copy_tree(update.source)
+        else:
+            subtree = parse_xml(update.source, text_mode=update.text_mode)
+        parent = nodes[update.parent]
+        position = len(parent.children) if update.position is None else update.position
+        if not 0 <= position <= len(parent.children):
+            raise StorageError(
+                f"insert position {position} out of range "
+                f"(parent {update.parent} has {len(parent.children)} children)"
+            )
+        parent.children.insert(position, subtree.root)
+        return copy
+    raise StorageError(f"unknown update operation: {update!r}")
+
+
+def _check_tree_node(nodes: list, node: int, role: str) -> None:
+    if not 0 <= node < len(nodes):
+        raise StorageError(f"{role} {node} out of range (database has {len(nodes)} nodes)")
+
+
+def _copy_tree(tree: UnrankedTree) -> UnrankedTree:
+    root_copy = UnrankedNode(tree.root.label, is_text=tree.root.is_text)
+    stack = [(tree.root, root_copy)]
+    while stack:
+        original, mirror = stack.pop()
+        for child in original.children:
+            child_copy = UnrankedNode(child.label, is_text=child.is_text)
+            mirror.children.append(child_copy)
+            stack.append((child, child_copy))
+    return UnrankedTree(root_copy)

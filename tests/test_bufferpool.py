@@ -208,6 +208,67 @@ def test_fingerprint_protects_private_pools(tmp_path):
     assert labels == ["r", "b", "b"]
 
 
+def test_fingerprint_survives_same_size_same_mtime_rewrite(tmp_path):
+    """The counter component closes the size/mtime collision hole.
+
+    A rebuild that produces a file of the *same size* within the *same
+    mtime tick* (forced here with os.utime; real filesystems with coarse
+    timestamps do it on their own) used to collide with the cached
+    generation on private pools.  The generation-pointer counter recorded
+    in the ``.meta`` sidecar changes on every build and update, so the
+    fingerprints differ even when size and mtime agree.
+    """
+    base = str(tmp_path / "doc")
+    arb_path = base + ".arb"
+    build_database("<r><a/><b/></r>", base, text_mode="ignore")
+    mtime = os.stat(arb_path)
+    pool = BufferPool()  # private: no epoch bump reaches it
+    config = PagerConfig(pool=pool)
+    db = ArbDatabase.open(base, pager=config)
+    before = [db.label_name(record) for record in db.records_forward()]
+    assert before == ["r", "a", "b"]
+    generation_before = pool.generation_for(arb_path)
+
+    # Same node count, same label-table size: the .arb is byte-compatible in
+    # size.  Pin the mtime to the old value to simulate a one-tick rewrite.
+    build_database("<r><b/><a/></r>", base, text_mode="ignore")
+    os.utime(arb_path, ns=(mtime.st_atime_ns, mtime.st_mtime_ns))
+    assert os.path.getsize(arb_path) == 3 * 2
+
+    generation_after = pool.generation_for(arb_path)
+    assert generation_after != generation_before  # the counter moved
+    db = ArbDatabase.open(base, pager=config)
+    labels = [db.label_name(record) for record in db.records_forward()]
+    assert labels == ["r", "b", "a"]  # fresh pages, not the cached ones
+
+
+def test_update_generations_never_collide_in_the_pool(tmp_path):
+    """Each `.arb` generation is its own pool key space; old pages stay hot."""
+    from repro.engine import Database
+    from repro.storage.update import Relabel
+
+    base = str(tmp_path / "doc")
+    build_database("<r><a/><b/></r>", base, text_mode="ignore")
+    pool = BufferPool()
+    config = PagerConfig(pool=pool)
+    pinned = ArbDatabase.open(base, pager=config)
+    list(pinned.records_forward())
+    loaded = pool.io.pages_read
+
+    Database.open(base).apply(Relabel(1, "c"))
+
+    # The pinned snapshot re-scans entirely from memory (its generation's
+    # pages are still valid -- copy-on-write never touched its file)...
+    assert [pinned.label_name(r) for r in pinned.records_forward()] == ["r", "a", "b"]
+    assert pool.io.pages_read == loaded
+    # ...while the new generation reads fresh pages under its own path key.
+    current = ArbDatabase.open(base, pager=config)
+    assert [current.label_name(r) for r in current.records_forward()] == ["r", "c", "b"]
+    assert pool.io.pages_read > loaded
+    paths = {key[0] for key in pool.cached_keys()}
+    assert len(paths) == 2  # two generations, two disjoint key spaces
+
+
 # --------------------------------------------------------------------------- #
 # resolve_pager
 # --------------------------------------------------------------------------- #

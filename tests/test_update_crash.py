@@ -1,0 +1,174 @@
+"""Crash consistency of copy-on-write updates (`storage/update.py`).
+
+A subprocess applies an update with ``REPRO_UPDATE_FAULT`` naming one of the
+injected fault points; the update code then dies with ``os._exit`` at that
+exact stage -- no cleanup handlers, no flushing, a real crash model.  The
+invariants, at *every* stage:
+
+* the old generation's files are byte-identical to their pre-update state
+  (copy-on-write means the update path never opens them for writing);
+* the generation pointer is never torn: it resolves to the complete old
+  generation before the atomic swap and to the complete new generation
+  after it;
+* a retry after the crash succeeds and reaches the post-update state, even
+  over the torn files a mid-splice crash left behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine import Database
+from repro.storage.build import build_database
+from repro.storage.generations import (
+    list_generations,
+    pointer_path,
+    read_pointer,
+    resolve_generation,
+)
+from repro.storage.update import FAULT_ENV, FAULT_EXIT_CODE, FAULT_POINTS
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+DOC = "<lib><book><a/><b/></book><dvd/><book/></lib>"
+BOOKS = "QUERY :- V.Label[book];"
+
+#: The update the crashing subprocess attempts: an insert, so the new
+#: generation differs from the old one in size as well as content.
+CRASH_SCRIPT = """
+import sys
+from repro.storage.update import InsertSubtree, apply_update
+apply_update(sys.argv[1], InsertSubtree(0, "<book><isbn/></book>", position=0))
+print("survived")
+"""
+
+#: Fault points at which the swap has not happened yet.
+PRE_SWAP_POINTS = tuple(point for point in FAULT_POINTS if point != "after-swap")
+
+
+def _build(tmp_path) -> str:
+    base = str(tmp_path / "doc")
+    build_database(DOC, base, text_mode="ignore")
+    return base
+
+
+def _generation_files(base: str) -> dict[str, bytes]:
+    """Byte snapshot of the current generation plus the pointer file."""
+    _, gen_base = resolve_generation(base)
+    snapshot = {}
+    for path in (gen_base + ".arb", gen_base + ".lab", gen_base + ".meta",
+                 pointer_path(base)):
+        if os.path.exists(path):
+            with open(path, "rb") as handle:
+                snapshot[path] = handle.read()
+    return snapshot
+
+
+def _crash_apply(base: str, fault: str | None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if fault is None:
+        env.pop(FAULT_ENV, None)
+    else:
+        env[FAULT_ENV] = fault
+    return subprocess.run(
+        [sys.executable, "-c", CRASH_SCRIPT, base],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+@pytest.mark.parametrize("fault", PRE_SWAP_POINTS)
+def test_crash_before_swap_preserves_the_old_generation(tmp_path, fault):
+    base = _build(tmp_path)
+    before = _generation_files(base)
+    answers_before = Database.open(base).query(BOOKS, engine="disk").selected_nodes()
+
+    completed = _crash_apply(base, fault)
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+    assert "survived" not in completed.stdout
+
+    # The pointer still names the old generation and every old byte is intact.
+    assert read_pointer(base).generation == 0
+    assert _generation_files(base) == before
+    # Whatever files the dead attempt left are not treated as history:
+    # their numbers exceed the committed counter.
+    assert list_generations(base) == [0]
+
+    # The database reopens cleanly and answers exactly as before the attempt.
+    database = Database.open(base)
+    assert database.generation == 0
+    assert database.n_nodes == 6
+    assert database.query(BOOKS, engine="disk").selected_nodes() == answers_before
+
+
+def test_crash_after_swap_lands_on_the_complete_new_generation(tmp_path):
+    base = _build(tmp_path)
+    old = _generation_files(base)
+
+    completed = _crash_apply(base, "after-swap")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+
+    pointer = read_pointer(base)
+    assert pointer.generation > 0  # the swap happened
+    database = Database.open(base)
+    assert database.generation == pointer.generation
+    assert database.n_nodes == 8  # insert applied in full
+    assert database.query(BOOKS, engine="disk").count() == 3
+    # The old generation files are still byte-identical (only the pointer moved).
+    for path, payload in old.items():
+        if path == pointer_path(base):
+            continue
+        with open(path, "rb") as handle:
+            assert handle.read() == payload, path
+
+
+@pytest.mark.parametrize("fault", ["mid-arb", "pointer-tmp"])
+def test_retry_after_crash_recovers(tmp_path, fault):
+    """A crashed attempt (torn new files included) never blocks the retry."""
+    base = _build(tmp_path)
+    completed = _crash_apply(base, fault)
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+
+    completed = _crash_apply(base, None)  # same update, no fault
+    assert completed.returncode == 0, completed.stderr
+    assert "survived" in completed.stdout
+
+    database = Database.open(base)
+    assert database.n_nodes == 8
+    assert database.query(BOOKS, engine="disk").count() == 3
+
+
+def test_mid_splice_crash_leaves_the_torn_file_unreachable(tmp_path):
+    base = _build(tmp_path)
+    completed = _crash_apply(base, "mid-arb")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+    # A torn .arb of the attempted generation may exist on disk...
+    pointer = read_pointer(base)
+    attempted = f"{base}.g{pointer.counter + 1}.arb"
+    # ...but no resolution path ever reaches it: the pointer still names the
+    # old generation, whose files pass the open-time size check.
+    assert read_pointer(base).generation == 0
+    assert Database.open(base).n_nodes == 6
+    if os.path.exists(attempted):
+        assert os.path.getsize(attempted) != 8 * 2  # genuinely incomplete
+
+
+def test_pointer_file_is_json_and_never_torn(tmp_path):
+    base = _build(tmp_path)
+    for fault in FAULT_POINTS:
+        completed = _crash_apply(base, fault)
+        assert completed.returncode == FAULT_EXIT_CODE, (fault, completed.stderr)
+        with open(pointer_path(base), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)  # parses at every stage: never torn
+        assert set(payload) == {"generation", "counter"}
+        # Whatever happened, the pointer resolves to an openable database.
+        Database.open(base).query(BOOKS, engine="disk")
