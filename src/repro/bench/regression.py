@@ -2,9 +2,11 @@
 
 Runs the *fast* benchmark subset -- figure-6-style datasets, full
 forward/backward `.arb` scans and a disk query batch in both pager modes,
-plus a copy-on-write update-throughput benchmark (relabel rounds and the
-query batch on the updated generation) -- and writes one JSON record per
-benchmark::
+a copy-on-write update-throughput benchmark (relabel rounds and the query
+batch on the updated generation), and a page-skipping selectivity sweep
+(batches of 1/10/100 section queries over a sectioned document; the `.idx`
+sidecar must make ``pages_read`` shrink with selectivity at identical
+answers) -- and writes one JSON record per benchmark::
 
     {"name": "scan-forward/treebank/mmap", "wall_seconds": 0.0021,
      "pages_read": 1, "seeks": 1, "bytes_read": 120132}
@@ -71,6 +73,13 @@ ACGT_EXPONENT = 16
 #: fast.  Relabels keep the file size constant, so every counter below is
 #: deterministic.
 UPDATE_ROUNDS = 20
+
+#: Selectivity sweep: one synthetic document of distinct-tag sections on a
+#: small page grid, queried by batches touching 1, 10 or all sections.
+SELECTIVITY_SECTIONS = 100
+SELECTIVITY_LEAVES = 100
+SELECTIVITY_PAGE_SIZE = 1024
+SELECTIVITY_BATCH_SIZES = (1, 10, SELECTIVITY_SECTIONS)
 
 #: Default wall-clock regression tolerance (after calibration).
 DEFAULT_TOLERANCE = 0.25
@@ -163,6 +172,7 @@ def run_benchmarks(
             # the run outright if the two modes ever disagree on a counter.
             _assert_modes_agree(block, per_mode_io)
         _update_benchmarks(tmp, entries, repeats, treebank_nodes, acgt_exponent)
+        _selectivity_benchmarks(tmp, entries, repeats)
     return payload
 
 
@@ -225,6 +235,69 @@ def _update_benchmarks(
                 batch.arb_io,
                 selected=sum(result.count() for result in batch.results),
             )
+        )
+
+
+def _selectivity_benchmarks(tmp: str, entries: list, repeats: int) -> None:
+    """The page-skipping sweep, gated both ways.
+
+    The counters land in the JSON payload and are exact-gated against the
+    baseline like everything else; on top of that the sweep's *shape* is
+    asserted in-process on every run -- ``pages_read`` monotone in batch
+    selectivity, the most selective batch under 25% of the full-scan
+    pages, answers byte-identical with and without the index -- so a
+    silently broken skip path fails the benchmark job even before the
+    baseline diff.  Wall clock is telemetry only: the batches take
+    fractions of a millisecond, below calibration resolution.
+    """
+    document = (
+        "<doc>"
+        + "".join(
+            f"<s{i:02d}>" + "<leaf/>" * SELECTIVITY_LEAVES + f"</s{i:02d}>"
+            for i in range(SELECTIVITY_SECTIONS)
+        )
+        + "</doc>"
+    )
+    base = os.path.join(tmp, "sections")
+    database = Database.build(document, base, page_size=SELECTIVITY_PAGE_SIZE)
+
+    def batch_of(n_sections: int) -> list[str]:
+        return [f"QUERY :- V.Label[s{i:02d}];" for i in range(n_sections)]
+
+    single = batch_of(1)
+    database.query_many(single, temp_dir=tmp, use_index=False)  # warm-up
+    seconds, full = _best_of(lambda: database.query_many(single, temp_dir=tmp, use_index=False), repeats)
+    entries.append(_entry("selectivity/sections/full-scan", seconds, full.arb_io, wall_gated=False))
+
+    pages: list[int] = []
+    for n_sections in SELECTIVITY_BATCH_SIZES:
+        queries = batch_of(n_sections)
+        database.query_many(queries, temp_dir=tmp)  # warm-up
+        seconds, batch = _best_of(lambda: database.query_many(queries, temp_dir=tmp), repeats)
+        entries.append(
+            _entry(
+                f"selectivity/sections/q{n_sections}",
+                seconds,
+                batch.arb_io,
+                selected=sum(result.count() for result in batch.results),
+                wall_gated=False,
+            )
+        )
+        pages.append(batch.arb_io.pages_read)
+        unindexed = database.query_many(queries, temp_dir=tmp, use_index=False)
+        if [r.selected for r in batch.results] != [r.selected for r in unindexed.results]:
+            raise AssertionError(f"selectivity/q{n_sections}: indexed answers differ from full scans")
+        if batch.arb_io.pages_read > unindexed.arb_io.pages_read:
+            raise AssertionError(
+                f"selectivity/q{n_sections}: the index increased pages_read "
+                f"({batch.arb_io.pages_read} > {unindexed.arb_io.pages_read})"
+            )
+    if pages != sorted(pages):
+        raise AssertionError(f"selectivity: pages_read not monotone in batch selectivity: {pages}")
+    if pages[0] * 4 >= full.arb_io.pages_read:
+        raise AssertionError(
+            f"selectivity: the most selective batch read {pages[0]} of "
+            f"{full.arb_io.pages_read} full-scan pages (>= 25%)"
         )
 
 

@@ -105,6 +105,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="page access mode for .arb scans: buffered reads through "
                             "the shared buffer pool, or zero-copy mmap "
                             "(identical I/O counters either way)")
+    query.add_argument("--no-index", action="store_true",
+                       help="ignore the .idx page-summary sidecar: force full scans "
+                            "even for selective batches (identical answers)")
     query.add_argument("--ids", action="store_true", help="print selected node ids")
     query.add_argument("--mark-up", action="store_true",
                        help="print the document with selected nodes marked up")
@@ -171,6 +174,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="worker pool kind (default: thread)")
     cquery.add_argument("--pager", choices=("buffered", "mmap"), default=None,
                         help="page access mode for per-document .arb scans")
+    cquery.add_argument("--no-index", action="store_true",
+                        help="ignore .idx page-summary sidecars (identical answers)")
     cquery.add_argument("--ids", action="store_true",
                         help="print selected node ids per document")
 
@@ -197,6 +202,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker pool kind for collection targets")
     serve.add_argument("--pager", choices=("buffered", "mmap"), default=None,
                        help="page access mode for .arb scans of the served target")
+    serve.add_argument("--no-index", action="store_true",
+                       help="ignore .idx page-summary sidecars for served batches")
     serve.add_argument("--ready-file", metavar="PATH",
                        help="write 'host port' to PATH once the listener is bound")
 
@@ -286,7 +293,7 @@ def _run_batch_query(database: Database, queries: list[str], language: str,
         raise ReproError("--mark-up is not available with --batch")
     batch = database.query_many(
         queries, language=language, query_predicate=args.query_predicate,
-        engine=args.engine,
+        engine=args.engine, use_index=not args.no_index,
     )
     print(f"batch           : {len(batch)} queries ({batch.backend})")
     for index, result in enumerate(batch):
@@ -348,7 +355,7 @@ def _command_collection_query(args: argparse.Namespace) -> int:
     result = collection.query_many(
         queries, language=language, query_predicate=args.query_predicate,
         engine=args.engine, n_workers=args.workers, executor=args.executor,
-        pager_mode=args.pager,
+        pager_mode=args.pager, use_index=not args.no_index,
     )
     statistics = result.statistics
     print(f"collection      : {len(result)} documents, {statistics.nodes} nodes")
@@ -404,6 +411,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 n_workers=args.workers,
                 executor=args.executor,
                 pager_mode=args.pager,
+                use_index=not args.no_index,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -453,7 +461,13 @@ def _command_client(args: argparse.Namespace) -> int:
 
 
 def _command_stats(args: argparse.Namespace) -> int:
-    from repro.storage.generations import list_generations, read_pointer
+    from repro.storage.generations import (
+        GENERATION_FILE_SUFFIXES,
+        generation_base,
+        list_generations,
+        read_pointer,
+    )
+    from repro.storage.pageindex import index_for
 
     database = ArbDatabase.open(args.database)
     pointer = read_pointer(database.logical_base_path)
@@ -468,6 +482,23 @@ def _command_stats(args: argparse.Namespace) -> int:
     print(f"char nodes   : {database.char_nodes}")
     print(f"tags         : {database.labels.n_tags}")
     print(f".arb size    : {database.file_size()} bytes")
+    index = index_for(database)
+    if index is None:
+        print("page index   : none (full scans)")
+    else:
+        print(f"page index   : {index.n_pages} pages summarised, "
+              f"{index.file_size()} bytes ({index.page_size}-byte pages)")
+    print("generations  :")
+    for gen in on_disk:
+        base = generation_base(database.logical_base_path, gen)
+        sizes = []
+        for suffix in GENERATION_FILE_SUFFIXES:
+            try:
+                sizes.append(f"{suffix} {os.path.getsize(base + suffix)}")
+            except OSError:
+                sizes.append(f"{suffix} -")
+        marker = "*" if gen == database.generation else " "
+        print(f"  {marker}g{gen:<4}: " + ", ".join(sizes))
     return 0
 
 

@@ -310,6 +310,7 @@ class Collection:
         collect_selected_nodes: bool = True,
         temp_dir: str | None = None,
         pager_mode: str | None = None,
+        use_index: bool = True,
     ) -> CollectionQueryResult:
         """Evaluate one query over every document of the collection."""
         return self.query_many(
@@ -322,6 +323,7 @@ class Collection:
             collect_selected_nodes=collect_selected_nodes,
             temp_dir=temp_dir,
             pager_mode=pager_mode,
+            use_index=use_index,
         )
 
     def query_many(
@@ -336,6 +338,7 @@ class Collection:
         collect_selected_nodes: bool = True,
         temp_dir: str | None = None,
         pager_mode: str | None = None,
+        use_index: bool = True,
     ) -> CollectionQueryResult:
         """Evaluate ``k`` queries over every document, sharded across workers.
 
@@ -358,6 +361,7 @@ class Collection:
             collect_selected_nodes=collect_selected_nodes,
             temp_dir=temp_dir,
             pager_mode=pager_mode,
+            use_index=use_index,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

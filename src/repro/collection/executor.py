@@ -120,6 +120,7 @@ class _ShardTask:
     # Pager *mode* rather than a PagerConfig: the process pool pickles tasks,
     # and each worker should attach its own process-wide buffer pool.
     pager_mode: str | None = None
+    use_index: bool = True
 
 
 @dataclass
@@ -182,6 +183,7 @@ def _evaluate_document(
                 database.disk,
                 temp_dir=task.temp_dir,
                 collect_selected_nodes=task.collect_selected_nodes,
+                use_index=task.use_index,
             )
             results = list(batch.results)
             arb_io, state_io = batch.arb_io, batch.state_io
@@ -237,12 +239,14 @@ def run_collection_query(
     collect_selected_nodes: bool = True,
     temp_dir: str | None = None,
     pager_mode: str | None = None,
+    use_index: bool = True,
 ) -> CollectionQueryResult:
     """Evaluate ``queries`` over every document, sharded across ``n_workers``.
 
     ``pager_mode`` selects the scan path per worker (``"buffered"`` scans
     share the worker process's buffer pool, ``"mmap"`` maps each document);
-    the per-document I/O counters are identical either way.
+    the per-document I/O counters are identical either way.  ``use_index``
+    lets each document's batch skip pages through its ``.idx`` sidecar.
     """
     if not queries:
         raise EvaluationError("a collection query needs at least one query")
@@ -279,6 +283,7 @@ def run_collection_query(
             collect_selected_nodes=collect_selected_nodes,
             temp_dir=temp_dir,
             pager_mode=pager_mode,
+            use_index=use_index,
         )
         for index, shard in enumerate(shards)
     ]

@@ -47,7 +47,7 @@ from repro.plan.planner import AUTO_ENGINE, choose_backend
 from repro.plan.result import BatchQueryResult, QueryResult
 from repro.storage.build import build_database
 from repro.storage.database import ArbDatabase
-from repro.storage.paging import PagerConfig
+from repro.storage.paging import DEFAULT_PAGE_SIZE, PagerConfig
 from repro.tmnf.program import TMNFProgram
 from repro.tree.binary import BinaryTree
 from repro.tree.unranked import UnrankedTree
@@ -107,7 +107,8 @@ class Database:
 
     @classmethod
     def open(cls, base_path: str, *, pager: "PagerConfig | None" = None,
-             generation: int | None = None) -> "Database":
+             generation: int | None = None,
+             page_size: int = DEFAULT_PAGE_SIZE) -> "Database":
         """Open an on-disk `.arb` database; queries will run in two linear scans.
 
         ``pager`` selects the scan path -- ``PagerConfig(mode="mmap")`` for
@@ -125,16 +126,23 @@ class Database:
         :meth:`refresh` re-resolves the pointer in place.
         """
         return cls(
-            disk=ArbDatabase.open(base_path, pager=pager, generation=generation),
+            disk=ArbDatabase.open(base_path, page_size=page_size, pager=pager,
+                                  generation=generation),
             name=str(base_path),
         )
 
     @classmethod
     def build(cls, source, base_path: str, *, text_mode: str = "chars", name: str = "",
-              pager: "PagerConfig | None" = None) -> "Database":
-        """Create an `.arb` database from XML / a tree / an event stream, then open it."""
-        build_database(source, base_path, text_mode=text_mode, name=name)
-        return cls.open(base_path, pager=pager)
+              pager: "PagerConfig | None" = None,
+              page_size: int = DEFAULT_PAGE_SIZE) -> "Database":
+        """Create an `.arb` database from XML / a tree / an event stream, then open it.
+
+        ``page_size`` sets both the build chunking and the scan page grid
+        (the ``.idx`` sidecar summarises pages of exactly this size).
+        """
+        build_database(source, base_path, text_mode=text_mode, name=name,
+                       page_size=page_size)
+        return cls.open(base_path, pager=pager, page_size=page_size)
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -262,14 +270,19 @@ class Database:
         pinned = self._disk.generation
         pinned_counter = self._disk.change_counter
         try:
+            # The handle's page size doubles as the `.idx` summary grid, so
+            # the splice must write the new generation's sidecar on the same
+            # grid this handle (and its siblings) scan with.
             if isinstance(update, (list, tuple)):
                 result = apply_updates(
                     base, update, retain_generations=retain_generations,
+                    page_size=self._disk.page_size,
                     expected_generation=pinned, expected_counter=pinned_counter,
                 )
             else:
                 result = apply_update(
                     base, update, retain_generations=retain_generations,
+                    page_size=self._disk.page_size,
                     expected_generation=pinned, expected_counter=pinned_counter,
                 )
         finally:
@@ -364,8 +377,14 @@ class Database:
         engine: str | None = None,
         temp_dir: str | None = None,
         collect_selected_nodes: bool = True,
+        use_index: bool = True,
     ) -> BatchQueryResult:
         """Evaluate ``k`` queries together; on disk, in one pair of linear scans.
+
+        ``use_index`` (default on) lets the scans skip pages through the
+        generation's ``.idx`` sidecar when the batch is selective enough;
+        ``use_index=False`` forces the plain full scans.  Answers are
+        identical either way.
 
         Over an on-disk database (and ``engine`` of ``None``/``"auto"``/
         ``"disk"``) the k bottom-up automata run in lockstep per node during
@@ -387,6 +406,7 @@ class Database:
             batch = evaluate_batch_on_disk(
                 plans, self._disk, temp_dir=temp_dir,
                 collect_selected_nodes=collect_selected_nodes,
+                use_index=use_index,
             )
         else:
             if engine == "disk":

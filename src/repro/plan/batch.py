@@ -9,6 +9,26 @@ lockstep while reading the composite state file backwards.  The `.arb` file
 is therefore read exactly twice -- once per phase -- no matter how many
 queries the batch holds, which the separate ``arb_io`` counter proves.
 
+With a generation's ``.idx`` sidecar present (see
+:mod:`repro.storage.pageindex`), both scans additionally *skip* maximal
+self-contained page runs whose labels are disjoint from the batch's
+reachable-label set, whenever every plan maps all-neutral subtrees to a
+single bottom-up state ``s*``:
+
+* phase 1 never reads a skipped run -- it pushes the run's ``n_roots``
+  composite ``s*`` entries onto the scan stack and writes **no** state
+  entries for the run's nodes;
+* phase 2 computes the predicates each of the run's subtree roots would
+  hold and, when every one is provably answer-free (a bounded memoised
+  closure under the top-down transitions), carries the attachment
+  discipline across the run without reading it either; otherwise the run
+  is read after all (counted I/O) with the known ``s*`` states substituted.
+
+Skipped pages cause no physical I/O and are not counted in ``pages_read``;
+seeks grow by exactly one per page-sequence jump.  Answers are identical
+with and without the index -- the differential property suite
+(``tests/test_pageindex_property.py``) enforces it like buffered==mmap.
+
 The per-plan automata stay fully independent (each plan keeps its own
 memoised tables and per-run statistics); only the *scan* is shared, along
 with the stack discipline of Proposition 5.1, whose depth bound is
@@ -27,14 +47,17 @@ import os
 import struct
 import tempfile
 import time
-from dataclasses import replace
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
 
 from repro.core.two_phase import BOTTOM, EvaluationStatistics
 from repro.errors import EvaluationError
 from repro.plan.result import BatchQueryResult, QueryResult
+from repro.storage import pageindex
 from repro.storage.database import ArbDatabase
+from repro.storage.labels import RecordShapeLabelSets
 from repro.storage.paging import IOStatistics, PagedReader, PagedWriter
+from repro.storage.records import record_struct
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.plan.plan import QueryPlan
@@ -48,8 +71,14 @@ def evaluate_batch_on_disk(
     *,
     temp_dir: str | None = None,
     collect_selected_nodes: bool = True,
+    use_index: bool = True,
 ) -> BatchQueryResult:
-    """Evaluate ``plans`` over ``database`` with one backward + one forward scan."""
+    """Evaluate ``plans`` over ``database`` with one backward + one forward scan.
+
+    ``use_index`` (default on) lets the scan pair skip pages through the
+    generation's ``.idx`` sidecar when one exists; answers are identical
+    either way, only ``pages_read`` shrinks.
+    """
     if not plans:
         raise EvaluationError("batch evaluation needs at least one query")
     plans = list(plans)
@@ -63,6 +92,8 @@ def evaluate_batch_on_disk(
             unique_plans.append(plan)
     for plan in unique_plans:
         plan.begin_run()
+
+    skip = _compute_skip(plans, database) if use_index else None
 
     arb_io = IOStatistics()
     state_io = IOStatistics()
@@ -78,13 +109,13 @@ def evaluate_batch_on_disk(
     handle.close()
     try:
         started = time.perf_counter()
-        _run_phase1(plans, database, state_path, entry_struct, arb_io, state_io)
+        _run_phase1(plans, database, state_path, entry_struct, arb_io, state_io, skip)
         phase1_seconds = time.perf_counter() - started
         state_file_bytes = os.path.getsize(state_path)
         started = time.perf_counter()
         selected, counts, _ = _run_phase2(
             plans, database, state_path, entry_struct, arb_io, state_io,
-            collect_selected_nodes,
+            collect_selected_nodes, skip,
         )
         phase2_seconds = time.perf_counter() - started
     finally:
@@ -144,6 +175,54 @@ def evaluate_batch_on_disk(
 
 
 # ---------------------------------------------------------------------- #
+# Skip planning (the .idx sidecar meets the batch's plans)
+# ---------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class _SkipPlan:
+    """Everything both phases need to skip: where, and with which states."""
+
+    #: ``(start, count, region | None)`` partition of ``[0, n_nodes)``.
+    segments: tuple
+    #: The composite all-neutral state entry (one ``s*`` per plan).
+    star: tuple[int, ...]
+    #: Pages a phase-1 scan may touch (gap pages); the page filter proves
+    #: that skipped pages are never materialised.
+    allowed_pages: frozenset[int]
+
+
+def _compute_skip(plans: Sequence["QueryPlan"], database: ArbDatabase) -> _SkipPlan | None:
+    if record_struct(database.record_size) is None:
+        return None  # exotic record sizes use the per-record fallback path
+    index = pageindex.index_for(database)
+    if index is None or index.n_pages <= 1:
+        return None
+    star: list[int] = []
+    for plan in plans:
+        state = pageindex.neutral_state(plan)
+        if state is None:
+            return None
+        star.append(state)
+    schemas = [plan.evaluator.prop.schema for plan in plans]
+    bits = pageindex.relevant_label_bits(schemas, database.labels)
+    regions = pageindex.compute_skip_regions(index, bits)
+    if not regions:
+        return None
+    segments = tuple(pageindex.segments_of(regions, database.n_nodes))
+    record_size = database.record_size
+    page_size = database.page_size
+    allowed: set[int] = set()
+    for start, count, region in segments:
+        if region is not None:
+            continue
+        first = (start * record_size) // page_size
+        last = ((start + count) * record_size - 1) // page_size
+        allowed.update(range(first, last + 1))
+    return _SkipPlan(segments=segments, star=tuple(star), allowed_pages=frozenset(allowed))
+
+
+# ---------------------------------------------------------------------- #
 # Phase 1: one backward scan, composite state entries
 # ---------------------------------------------------------------------- #
 
@@ -155,58 +234,75 @@ def _run_phase1(
     entry_struct: struct.Struct,
     arb_io: IOStatistics,
     state_io: IOStatistics,
+    skip: _SkipPlan | None,
 ) -> int:
     k = len(plans)
     indices = range(k)
     schemas = [plan.program.prop_local().schema for plan in plans]
     computes = [plan.evaluator.compute_reachable_states for plan in plans]
-    # Per-plan memo of label sets, keyed by the raw record shape: each plan
-    # has its own schema (its sigma differs), so the sets differ per plan.
-    label_sets: list[dict[tuple, frozenset[str]]] = [{} for _ in plans]
+    # Per-plan memo of label sets keyed by the raw record shape (each plan
+    # has its own schema, so the sets differ per plan); shared helper with
+    # the single-query engine.
+    label_sets = [RecordShapeLabelSets(schema, database.labels) for schema in schemas]
     n = database.n_nodes
     stack: list[tuple[int, ...]] = []
     max_depth = 0
-    count = 0
+    processed = 0
+    skipped = 0
+    if skip is None:
+        segments = ((0, n, None),)
+        page_filter = None
+    else:
+        segments = skip.segments
+        page_filter = skip.allowed_pages.__contains__
     with PagedWriter(state_path, database.page_size, stats=state_io) as state_writer:
-        for offset, record in enumerate(database.records_backward(stats=arb_io)):
-            node_id = n - 1 - offset
-            first_states: tuple[int, ...] | None = None
-            second_states: tuple[int, ...] | None = None
-            if record.has_first_child:
-                first_states = stack.pop()
-            if record.has_second_child:
-                second_states = stack.pop()
-            is_root = node_id == 0
-            shape = (record.label_index, record.has_first_child,
-                     record.has_second_child, is_root)
-            name: str | None = None
-            states: list[int] = []
-            for i in indices:
-                labels = label_sets[i].get(shape)
-                if labels is None:
-                    if name is None:
-                        name = database.label_name(record)
-                    labels = schemas[i].label_set_for(
-                        name,
-                        is_root=is_root,
-                        has_first_child=record.has_first_child,
-                        has_second_child=record.has_second_child,
-                    )
-                    label_sets[i][shape] = labels
-                states.append(
-                    computes[i](
-                        first_states[i] if first_states is not None else BOTTOM,
-                        second_states[i] if second_states is not None else BOTTOM,
-                        labels,
-                    )
-                )
-            entry = tuple(states)
-            state_writer.write(entry_struct.pack(*entry))
-            stack.append(entry)
-            if len(stack) > max_depth:
-                max_depth = len(stack)
-            count += 1
-    if count != n or len(stack) != 1:
+        scanner = database.ranged_records(
+            backward=True, stats=arb_io, page_filter=page_filter
+        )
+        try:
+            for seg_start, seg_count, region in reversed(segments):
+                if region is not None:
+                    # A self-contained all-neutral run: every node has state
+                    # s*, only its subtree roots are visible to lower records.
+                    stack.extend([skip.star] * region.n_roots)
+                    if len(stack) > max_depth:
+                        max_depth = len(stack)
+                    skipped += seg_count
+                    continue
+                node_id = seg_start + seg_count
+                for record in scanner.range(seg_start, seg_count):
+                    node_id -= 1
+                    first_states: tuple[int, ...] | None = None
+                    second_states: tuple[int, ...] | None = None
+                    if record.has_first_child:
+                        first_states = stack.pop()
+                    if record.has_second_child:
+                        second_states = stack.pop()
+                    is_root = node_id == 0
+                    states: list[int] = []
+                    for i in indices:
+                        labels = label_sets[i].for_record(
+                            record.label_index,
+                            record.has_first_child,
+                            record.has_second_child,
+                            is_root,
+                        )
+                        states.append(
+                            computes[i](
+                                first_states[i] if first_states is not None else BOTTOM,
+                                second_states[i] if second_states is not None else BOTTOM,
+                                labels,
+                            )
+                        )
+                    entry = tuple(states)
+                    state_writer.write(entry_struct.pack(*entry))
+                    stack.append(entry)
+                    if len(stack) > max_depth:
+                        max_depth = len(stack)
+                    processed += 1
+        finally:
+            scanner.close()
+    if processed + skipped != n or len(stack) != 1:
         raise EvaluationError("batch phase 1 did not consume the database consistently")
     return max_depth
 
@@ -224,6 +320,7 @@ def _run_phase2(
     arb_io: IOStatistics,
     state_io: IOStatistics,
     collect_selected_nodes: bool,
+    skip: _SkipPlan | None,
 ) -> tuple[list[dict[str, list[int]]], list[dict[str, int]], int]:
     k = len(plans)
     indices = range(k)
@@ -239,43 +336,119 @@ def _run_phase2(
 
     # Composite entries decode in batch (one iter_unpack per page); like the
     # single-query engine, the one-shot state file bypasses any shared pool.
+    # With skipping, phase 1 wrote entries only for non-skipped nodes, and
+    # this phase consumes them only for non-skipped nodes -- the alignment
+    # is exact because the skip decision is static.
     state_reader = PagedReader(state_path, database.page_size, stats=state_io,
                                config=database.pager.without_pool())
     states_iter = state_reader.unpack_backward(entry_struct)
 
+    segments = ((0, database.n_nodes, None),) if skip is None else skip.segments
     awaiting_second: list[tuple[frozenset[str], ...]] = []
     next_attachment: tuple[tuple[frozenset[str], ...], int] | None = None
     max_depth = 0
-    for index, record in enumerate(database.records_forward(stats=arb_io)):
-        try:
-            own_states = next(states_iter)
-        except StopIteration as exc:  # pragma: no cover - defensive
-            raise EvaluationError("state file shorter than the database") from exc
-        if index == 0:
-            preds = tuple(root_preds[i](own_states[i]) for i in indices)
-        else:
-            if next_attachment is not None:
-                parent_preds, which = next_attachment
-            else:
-                parent_preds, which = awaiting_second.pop(), 2
-            preds = tuple(
-                computes[i](parent_preds[i], own_states[i], which) for i in indices
-            )
-        for i in indices:
-            for pred in query_predicates[i]:
-                if pred in preds[i]:
-                    counts[i][pred] += 1
-                    if collect_selected_nodes:
-                        selected[i][pred].append(index)
-        if record.has_first_child and record.has_second_child:
-            awaiting_second.append(preds)
-            if len(awaiting_second) > max_depth:
-                max_depth = len(awaiting_second)
-            next_attachment = (preds, 1)
-        elif record.has_first_child:
-            next_attachment = (preds, 1)
-        elif record.has_second_child:
-            next_attachment = (preds, 2)
-        else:
-            next_attachment = None
+    scanner = database.ranged_records(backward=False, stats=arb_io)
+    try:
+        for seg_start, seg_count, region in segments:
+            if region is not None:
+                star = skip.star
+                # Resolve where each of the run's subtree roots attaches
+                # (peeking, not popping -- a fallback read must see the
+                # untouched discipline) and the predicates it would hold.
+                attachments: list[tuple[tuple[frozenset[str], ...], int]] = []
+                if next_attachment is not None:
+                    attachments.append(next_attachment)
+                needed = region.n_roots - len(attachments)
+                if needed > len(awaiting_second):  # pragma: no cover - defensive
+                    raise EvaluationError("skip region inconsistent with the scan stack")
+                for back in range(needed):
+                    attachments.append((awaiting_second[-1 - back], 2))
+                answer_free = True
+                for parent_preds, which in attachments:
+                    own_preds = tuple(
+                        computes[i](parent_preds[i], star[i], which) for i in indices
+                    )
+                    for i in indices:
+                        if not pageindex.region_answer_free(plans[i], own_preds[i], star[i]):
+                            answer_free = False
+                            break
+                    if not answer_free:
+                        break
+                if answer_free:
+                    # The run selects nothing for any plan: cross it without
+                    # reading.  Each complete subtree ends in a leaf, so the
+                    # net effect on the discipline is exactly the pops.
+                    if needed:
+                        del awaiting_second[-needed:]
+                    next_attachment = None
+                    continue
+                # Fallback: read the run after all (counted I/O), substituting
+                # the known s* states; the state file holds no entries for it.
+                for index, record in zip(
+                    range(seg_start, seg_start + seg_count),
+                    scanner.range(seg_start, seg_count),
+                ):
+                    own_states = star
+                    if next_attachment is not None:
+                        parent_preds, which = next_attachment
+                    else:
+                        parent_preds, which = awaiting_second.pop(), 2
+                    preds = tuple(
+                        computes[i](parent_preds[i], own_states[i], which) for i in indices
+                    )
+                    for i in indices:
+                        for pred in query_predicates[i]:
+                            if pred in preds[i]:
+                                counts[i][pred] += 1
+                                if collect_selected_nodes:
+                                    selected[i][pred].append(index)
+                    if record.has_first_child and record.has_second_child:
+                        awaiting_second.append(preds)
+                        if len(awaiting_second) > max_depth:
+                            max_depth = len(awaiting_second)
+                        next_attachment = (preds, 1)
+                    elif record.has_first_child:
+                        next_attachment = (preds, 1)
+                    elif record.has_second_child:
+                        next_attachment = (preds, 2)
+                    else:
+                        next_attachment = None
+                continue
+            for index, record in zip(
+                range(seg_start, seg_start + seg_count),
+                scanner.range(seg_start, seg_count),
+            ):
+                try:
+                    own_states = next(states_iter)
+                except StopIteration as exc:  # pragma: no cover - defensive
+                    raise EvaluationError("state file shorter than the database") from exc
+                if index == 0:
+                    preds = tuple(root_preds[i](own_states[i]) for i in indices)
+                else:
+                    if next_attachment is not None:
+                        parent_preds, which = next_attachment
+                    else:
+                        parent_preds, which = awaiting_second.pop(), 2
+                    preds = tuple(
+                        computes[i](parent_preds[i], own_states[i], which) for i in indices
+                    )
+                for i in indices:
+                    for pred in query_predicates[i]:
+                        if pred in preds[i]:
+                            counts[i][pred] += 1
+                            if collect_selected_nodes:
+                                selected[i][pred].append(index)
+                if record.has_first_child and record.has_second_child:
+                    awaiting_second.append(preds)
+                    if len(awaiting_second) > max_depth:
+                        max_depth = len(awaiting_second)
+                    next_attachment = (preds, 1)
+                elif record.has_first_child:
+                    next_attachment = (preds, 1)
+                elif record.has_second_child:
+                    next_attachment = (preds, 2)
+                else:
+                    next_attachment = None
+    finally:
+        scanner.close()
     return selected, counts, max_depth

@@ -110,6 +110,7 @@ class QueryService:
         n_workers: int = 1,
         executor: str = "thread",
         pager_mode: str | None = None,
+        use_index: bool = True,
     ):
         if not isinstance(target, (Database, Collection)):
             raise ServiceError(
@@ -133,6 +134,8 @@ class QueryService:
         #: Scan path for collection shards (database targets carry their own
         #: PagerConfig from Database.open); counters are mode-independent.
         self.pager_mode = pager_mode
+        #: Whether coalesced batches may skip pages via `.idx` sidecars.
+        self.use_index = use_index
         self.plan_cache = target.plan_cache
 
         self._stats = ServiceStats()
@@ -512,6 +515,7 @@ class QueryService:
                     database.disk,
                     temp_dir=self.temp_dir,
                     collect_selected_nodes=self.collect_selected_nodes,
+                    use_index=self.use_index,
                 )
             return list(batch.results), batch.arb_io
         results = []
@@ -536,6 +540,7 @@ class QueryService:
             collect_selected_nodes=self.collect_selected_nodes,
             temp_dir=self.temp_dir,
             pager_mode=self.pager_mode,
+            use_index=self.use_index,
         )
         # Demultiplex the corpus-wide batch into per-request single-query
         # views; they share the batch's I/O counter objects, so idempotent

@@ -34,7 +34,13 @@ from repro.storage.generations import (
     write_metadata,
     write_pointer,
 )
-from repro.storage.labels import LabelTable
+from repro.storage.labels import FIRST_TAG_INDEX, LabelTable
+from repro.storage.pageindex import (
+    SummaryAccumulator,
+    index_path_of,
+    invalidate_index_cache,
+    write_page_index,
+)
 from repro.storage.paging import BackwardPagedWriter, IOStatistics, PagedReader, PagedWriter
 from repro.storage.records import (
     DEFAULT_RECORD_SIZE,
@@ -171,6 +177,9 @@ class DatabaseBuilder:
         stack: list[_Frame] = []
         max_depth = 0
         previous_was_begin = False
+        # Records flow past in exactly the order the page-summary accumulator
+        # wants (reverse pre-order), so the `.idx` sidecar costs no extra pass.
+        summary = SummaryAccumulator(n_nodes, self.record_size, self.page_size)
         with BackwardPagedWriter(arb_path, total_size, self.page_size, stats=stats.io) as arb_writer:
             for label_index, is_end in self._decoded_events_backward(evt_reader):
                 if is_end:
@@ -193,11 +202,16 @@ class DatabaseBuilder:
                             self.record_size,
                         )
                     )
+                    summary.add(frame.label_index, frame.has_children, frame.has_next_sibling)
                     previous_was_begin = True
         if stack:
             raise StorageError("event file is not well nested: unmatched end events remain")
 
         labels.save(lab_path)
+        write_page_index(
+            index_path_of(base_path),
+            summary.finish(FIRST_TAG_INDEX + labels.n_tags),
+        )
         stats.evt_file_size = os.path.getsize(evt_path)
         if not self.keep_event_file:
             os.remove(evt_path)
@@ -226,8 +240,10 @@ class DatabaseBuilder:
                 if generation != 0:
                     remove_generation_files(base_path, generation)
         # Belt and braces for the process-wide pool: the epoch bump drops any
-        # cached pages of the overwritten file immediately.
+        # cached pages of the overwritten file immediately (and any cached
+        # page summaries of the overwritten sidecar).
         invalidate_default_pool(arb_path)
+        invalidate_index_cache(base_path)
         return stats
 
     def _decoded_events_backward(self, evt_reader: PagedReader):
@@ -280,13 +296,14 @@ def _write_metadata(base_path: str, n_nodes: int, record_size: int, stats: Build
 
 
 def build_database(source, base_path: str, *, record_size: int = DEFAULT_RECORD_SIZE,
-                   text_mode: str = "chars", name: str = "") -> BuildStatistics:
+                   text_mode: str = "chars", name: str = "",
+                   page_size: int = 64 * 1024) -> BuildStatistics:
     """Convenience wrapper around :class:`DatabaseBuilder`.
 
     ``source`` may be an XML string, an :class:`~repro.tree.unranked.UnrankedTree`,
     or an iterable of ``(kind, label, is_text)`` events.
     """
-    builder = DatabaseBuilder(record_size=record_size)
+    builder = DatabaseBuilder(record_size=record_size, page_size=page_size)
     if isinstance(source, UnrankedTree):
         return builder.build_from_tree(source, base_path, name=name)
     if isinstance(source, str):

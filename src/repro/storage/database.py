@@ -173,6 +173,25 @@ class ArbDatabase:
         """All node records in reverse pre-order (one backward linear scan)."""
         return self._decoded_records(self.reader(stats), backward=True)
 
+    def ranged_records(self, *, backward: bool, stats: IOStatistics | None = None,
+                       page_filter=None) -> "_RangedRecords":
+        """A multi-range record scanner (the page-skipping read path).
+
+        Returns an object whose :meth:`~_RangedRecords.range` yields decoded
+        :class:`NodeRecord` instances for one record range at a time; all
+        ranges of the scan share one page source, and the I/O counters stay
+        exact (one seek at the start plus one per page-sequence jump).
+        ``page_filter`` optionally guards the scan against touching pages it
+        must not (see :class:`~repro.storage.paging.PagerConfig`).
+        """
+        config = self.pager
+        if page_filter is not None:
+            from dataclasses import replace as _replace
+
+            config = _replace(config, page_filter=page_filter)
+        reader = PagedReader(self.arb_path, self.page_size, stats=stats, config=config)
+        return _RangedRecords(reader, self.record_size, backward=backward)
+
     def _decoded_records(self, reader: PagedReader, backward: bool) -> Iterator[NodeRecord]:
         record_size = self.record_size
         fmt = record_struct(record_size)
@@ -300,3 +319,42 @@ class ArbDatabase:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ArbDatabase({self.base_path!r}, {self.n_nodes} nodes, k={self.record_size})"
+
+
+class _RangedRecords:
+    """Decoded-record view over a :class:`~repro.storage.paging.RangedScan`.
+
+    Supported record sizes decode page-at-a-time through the interned
+    value -> :class:`NodeRecord` table, exactly like the full-scan path;
+    exotic record sizes fall back to per-record decoding.
+    """
+
+    def __init__(self, reader, record_size: int, *, backward: bool):
+        self._scan = reader.ranged_scan(backward=backward)
+        self._record_size = record_size
+        self._fmt = record_struct(record_size)
+        self._table = node_record_table(record_size) if self._fmt is not None else None
+
+    def range(self, start: int, count: int) -> Iterator[NodeRecord]:
+        """Records ``start .. start+count-1``, in the scan's direction."""
+        if self._fmt is None:
+            for raw in self._scan.records_range(self._record_size, start, count):
+                yield decode_node(raw, self._record_size)
+            return
+        table = self._table
+        lookup = table.get
+        record_size = self._record_size
+        for (value,) in self._scan.unpack_range(self._fmt, start, count):
+            record = lookup(value)
+            if record is None:
+                record = table[value] = decode_node_value(value, record_size)
+            yield record
+
+    def close(self) -> None:
+        self._scan.close()
+
+    def __enter__(self) -> "_RangedRecords":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -38,6 +38,7 @@ from typing import TYPE_CHECKING
 from repro.core.two_phase import BOTTOM, EvaluationStatistics, TwoPhaseEvaluator
 from repro.errors import EvaluationError
 from repro.storage.database import ArbDatabase
+from repro.storage.labels import RecordShapeLabelSets
 from repro.storage.paging import IOStatistics, PagedReader, PagedWriter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -140,10 +141,10 @@ class DiskQueryEngine:
         stack: list[int] = []
         max_depth = 0
         count = 0
-        # Label sets depend only on the raw record shape (label index, child
-        # flags, rootness), so they are memoised per shape instead of being
-        # rebuilt per node -- same trick as the lockstep batch evaluator.
-        label_sets: dict[tuple, frozenset[str]] = {}
+        # Shared shape-keyed label-set memo (same helper as the lockstep
+        # batch evaluator and the page-skipping index).
+        label_sets = RecordShapeLabelSets(schema, database.labels)
+        for_record = label_sets.for_record
         pack = _STATE_STRUCT.pack
         with PagedWriter(state_path, database.page_size, stats=io) as state_writer:
             for offset, record in enumerate(database.records_backward(stats=io)):
@@ -155,17 +156,12 @@ class DiskQueryEngine:
                 if record.has_second_child:
                     second_state = stack.pop()
                 is_root = node_id == 0
-                shape = (record.label_index, record.has_first_child,
-                         record.has_second_child, is_root)
-                labels = label_sets.get(shape)
-                if labels is None:
-                    labels = schema.label_set_for(
-                        database.label_name(record),
-                        is_root=is_root,
-                        has_first_child=record.has_first_child,
-                        has_second_child=record.has_second_child,
-                    )
-                    label_sets[shape] = labels
+                labels = for_record(
+                    record.label_index,
+                    record.has_first_child,
+                    record.has_second_child,
+                    is_root,
+                )
                 state = compute(first_state, second_state, labels)
                 state_writer.write(pack(state))
                 stack.append(state)

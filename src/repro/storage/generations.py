@@ -70,8 +70,10 @@ POINTER_SUFFIX = ".gen"
 #: ``<base>.g<N>`` -- the base-path suffix of a non-zero generation.
 _GENERATION_RE = re.compile(r"\.g(\d+)$")
 
-#: Companion suffixes that make up one complete generation.
-GENERATION_FILE_SUFFIXES = (".arb", ".lab", ".meta")
+#: Companion suffixes that make up one complete generation (the ``.idx``
+#: page-summary sidecar is optional on read, but lives and dies with its
+#: generation).
+GENERATION_FILE_SUFFIXES = (".arb", ".lab", ".meta", ".idx")
 
 
 @dataclass(frozen=True)

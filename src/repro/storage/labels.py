@@ -13,7 +13,12 @@ import os
 
 from repro.errors import StorageError
 
-__all__ = ["LabelTable", "FIRST_TAG_INDEX", "CHARACTER_INDEX_LIMIT"]
+__all__ = [
+    "LabelTable",
+    "RecordShapeLabelSets",
+    "FIRST_TAG_INDEX",
+    "CHARACTER_INDEX_LIMIT",
+]
 
 #: Indexes below this value denote text characters (the index is the code point).
 CHARACTER_INDEX_LIMIT = 256
@@ -66,6 +71,16 @@ class LabelTable:
             raise StorageError(f"unknown label index {index}")
         return self._names[position]
 
+    def lookup(self, label: str) -> int | None:
+        """The *tag* index of ``label`` if it is registered, else ``None``.
+
+        Unlike :meth:`index_of`, this never registers a new tag, so the
+        query side can probe a plan's labels against a read-only table.
+        (A one-character label may additionally denote the text character
+        with its code point; callers that care check that range themselves.)
+        """
+        return self._name_to_index.get(label)
+
     def is_character_index(self, index: int) -> bool:
         return index < CHARACTER_INDEX_LIMIT
 
@@ -108,3 +123,41 @@ class LabelTable:
         if not self._names:
             return 0
         return sum(len(name.encode("utf-8")) for name in self._names) + len(self._names) - 1
+
+
+class RecordShapeLabelSets:
+    """Per-plan memo of node label sets keyed by the raw record *shape*.
+
+    Both disk evaluators (the single-query engine and the lockstep batch)
+    turn each record into the alphabet symbol of a plan's bottom-up
+    automaton: the schema's label set for the record's label name and child
+    flags.  Distinct records overwhelmingly share a handful of shapes
+    ``(label_index, has_first_child, has_second_child, is_root)``, so the
+    set is computed once per shape and the per-record work is one dict hit.
+    The label name itself is resolved through the table only on a miss.
+
+    This used to be copy-pasted between ``plan/batch.py`` and
+    ``storage/disk_engine.py``; it lives here so both scan paths -- and the
+    page-skipping index, which must derive *exactly* the same label sets --
+    share one source of truth.
+    """
+
+    __slots__ = ("_schema", "_table", "_memo")
+
+    def __init__(self, schema, table: LabelTable):
+        self._schema = schema
+        self._table = table
+        self._memo: dict[tuple, frozenset] = {}
+
+    def for_record(self, label_index: int, has_first_child: bool,
+                   has_second_child: bool, is_root: bool) -> frozenset:
+        shape = (label_index, has_first_child, has_second_child, is_root)
+        labels = self._memo.get(shape)
+        if labels is None:
+            labels = self._memo[shape] = self._schema.label_set_for(
+                self._table.name_of(label_index),
+                is_root=is_root,
+                has_first_child=has_first_child,
+                has_second_child=has_second_child,
+            )
+        return labels

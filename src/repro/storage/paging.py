@@ -59,6 +59,7 @@ __all__ = [
     "PagedReader",
     "PagedWriter",
     "BackwardPagedWriter",
+    "RangedScan",
     "DEFAULT_PAGE_SIZE",
     "PAGER_MODES",
 ]
@@ -117,10 +118,18 @@ class PagerConfig:
     the file on every page access; it applies to buffered scans only (a
     mapping already shares hot pages through the OS page cache).  Neither
     setting changes the logical :class:`IOStatistics` of a scan.
+
+    ``page_filter`` is an optional guard predicate over page indexes: a
+    scan configured with one must never materialise a page the filter
+    rejects, and both sources raise :class:`~repro.errors.StorageError` if
+    asked to.  The page-skipping index uses it to *prove* that skipped
+    pages cause no physical I/O (the filter is an assertion, not the skip
+    mechanism itself).
     """
 
     mode: str = "buffered"
     pool: "BufferPool | None" = None
+    page_filter: object = None
 
     def __post_init__(self) -> None:
         if self.mode not in PAGER_MODES:
@@ -128,8 +137,9 @@ class PagerConfig:
             raise StorageError(f"unknown pager mode {self.mode!r} (use one of: {names})")
 
     def without_pool(self) -> "PagerConfig":
-        """This configuration minus the pool (for single-use temp files)."""
-        if self.pool is None:
+        """This configuration minus the pool and any page filter (for
+        single-use temp files, which live on their own page grid)."""
+        if self.pool is None and self.page_filter is None:
             return self
         return PagerConfig(mode=self.mode)
 
@@ -248,14 +258,15 @@ class _BufferedScanSource:
     """Pages via ``read()``, optionally read-through a shared buffer pool."""
 
     __slots__ = ("_path", "_page_size", "_file_size", "_pool", "_key_path",
-                 "_generation", "_handle", "_position")
+                 "_generation", "_handle", "_position", "_filter")
 
     def __init__(self, path: str, page_size: int, file_size: int,
-                 pool: "BufferPool | None"):
+                 pool: "BufferPool | None", page_filter=None):
         self._path = path
         self._page_size = page_size
         self._file_size = file_size
         self._pool = pool
+        self._filter = page_filter
         self._handle = None
         self._position = 0
         if pool is not None:
@@ -263,6 +274,8 @@ class _BufferedScanSource:
             self._generation = pool.generation_for(path)
 
     def page(self, index: int):
+        if self._filter is not None and not self._filter(index):
+            raise StorageError(f"{self._path}: page {index} rejected by the page filter")
         base = index * self._page_size
         length = min(self._page_size, self._file_size - base)
         pool = self._pool
@@ -297,9 +310,9 @@ class _BufferedScanSource:
 class _MmapScanSource:
     """Zero-copy pages: ``memoryview`` slices of a per-scan memory mapping."""
 
-    __slots__ = ("_view", "_page_size", "_file_size")
+    __slots__ = ("_view", "_page_size", "_file_size", "_path", "_filter")
 
-    def __init__(self, path: str, page_size: int, file_size: int):
+    def __init__(self, path: str, page_size: int, file_size: int, page_filter=None):
         with open(path, "rb") as handle:
             # The mapping outlives the descriptor.  Slices handed to
             # consumers keep the map alive by reference; an explicit
@@ -309,8 +322,12 @@ class _MmapScanSource:
         self._view = memoryview(mapped)
         self._page_size = page_size
         self._file_size = file_size
+        self._path = path
+        self._filter = page_filter
 
     def page(self, index: int):
+        if self._filter is not None and not self._filter(index):
+            raise StorageError(f"{self._path}: page {index} rejected by the page filter")
         base = index * self._page_size
         return self._view[base:min(base + self._page_size, self._file_size)]
 
@@ -430,16 +447,30 @@ class PagedReader:
 
     def _open_source(self):
         if self.config.mode == "mmap":
-            return _MmapScanSource(self.path, self.page_size, self.file_size)
+            return _MmapScanSource(self.path, self.page_size, self.file_size,
+                                   self.config.page_filter)
         return _BufferedScanSource(self.path, self.page_size, self.file_size,
-                                   self.config.pool)
+                                   self.config.pool, self.config.page_filter)
 
-    def _walk_forward(self, record_size: int, offset: int, total: int):
+    def ranged_scan(self, *, backward: bool = False) -> "RangedScan":
+        """A multi-range scan over this file sharing one page source.
+
+        Use for scans that *skip* parts of the file: each range is walked
+        like a normal scan, pages shared between adjacent ranges are
+        fetched once, and a seek is counted at the first fetch plus once
+        per discontinuity in the fetched page sequence -- so a single range
+        covering the whole file costs exactly what a plain scan costs.
+        """
+        return RangedScan(self, backward=backward)
+
+    def _walk_forward(self, record_size: int, offset: int, total: int, _fetch=None):
         """Yield ``(view, start, n_records)`` spans in forward order.
 
         Straddling records are assembled and yielded as ``(None, bytes, 1)``.
         Every page on the canonical grid is fetched at most once and counted
-        exactly when fetched, whatever the source.
+        exactly when fetched, whatever the source.  ``_fetch`` substitutes a
+        caller-managed page fetcher (shared source, caching and counting);
+        without it the walk opens its own source and counts every fetch.
         """
         if total <= 0:
             return
@@ -452,11 +483,14 @@ class PagedReader:
         carry = bytearray()
         try:
             for page_index in range(first_page, n_pages):
-                if source is None:
-                    source = self._open_source()
-                view = source.page(page_index)
-                stats.bytes_read += len(view)
-                stats.pages_read += 1
+                if _fetch is not None:
+                    view = _fetch(page_index)
+                else:
+                    if source is None:
+                        source = self._open_source()
+                    view = source.page(page_index)
+                    stats.bytes_read += len(view)
+                    stats.pages_read += 1
                 start = offset - page_index * page_size if page_index == first_page else 0
                 if start >= len(view):
                     continue
@@ -489,11 +523,15 @@ class PagedReader:
             if source is not None:
                 source.close()
 
-    def _walk_backward(self, record_size: int, total: int, usable: int):
+    def _walk_backward(self, record_size: int, total: int, usable: int, _fetch=None):
         """Yield ``(view, start, n_records)`` spans in backward order.
 
         A span's records must be consumed from its high end downwards;
         straddling records are assembled and yielded as ``(None, bytes, 1)``.
+        ``usable`` is the byte offset just past the last record of interest,
+        so a caller-supplied ``(total, usable)`` pair addresses any record
+        range; ``_fetch`` substitutes a shared page fetcher as in
+        :meth:`_walk_forward`.
         """
         if total <= 0:
             return
@@ -509,11 +547,14 @@ class PagedReader:
         rec_end = usable
         try:
             for page_index in range((usable - 1) // page_size, -1, -1):
-                if source is None:
-                    source = self._open_source()
-                view = source.page(page_index)
-                stats.bytes_read += len(view)
-                stats.pages_read += 1
+                if _fetch is not None:
+                    view = _fetch(page_index)
+                else:
+                    if source is None:
+                        source = self._open_source()
+                    view = source.page(page_index)
+                    stats.bytes_read += len(view)
+                    stats.pages_read += 1
                 base = page_index * page_size
                 if pending:
                     rec_start = rec_end - record_size
@@ -546,3 +587,115 @@ class PagedReader:
         finally:
             if source is not None:
                 source.close()
+
+
+# ---------------------------------------------------------------------- #
+# Multi-range scans (the page-skipping read path)
+# ---------------------------------------------------------------------- #
+
+
+class RangedScan:
+    """Scan selected record ranges of one file through a single page source.
+
+    The index-guided batch evaluator reads the file as a sequence of *gaps*
+    between skipped regions.  All ranges of one scan share the page source
+    and a one-page cache (a page holding both the tail of one range and the
+    head of the next is fetched once), and the accounting stays honest:
+
+    * ``pages_read`` / ``bytes_read`` count every page actually fetched,
+      exactly once per scan;
+    * ``seeks`` counts the first fetch plus one per discontinuity in the
+      fetched page sequence -- so a scan whose single range covers the
+      whole file costs exactly one seek, like a plain linear scan, and
+      every skip that jumps pages costs exactly one more.
+
+    Ranges must be visited in scan order (ascending for a forward scan,
+    descending for a backward one).
+    """
+
+    def __init__(self, reader: PagedReader, *, backward: bool = False):
+        self._reader = reader
+        self._step = -1 if backward else 1
+        self._backward = backward
+        self._source = None
+        self._cache_index: int | None = None
+        self._cache_view = None
+        self._last_fetched: int | None = None
+
+    def _fetch(self, index: int):
+        if index == self._cache_index:
+            return self._cache_view
+        if self._source is None:
+            self._source = self._reader._open_source()
+        view = self._source.page(index)
+        stats = self._reader.stats
+        stats.bytes_read += len(view)
+        stats.pages_read += 1
+        if self._last_fetched is None or index != self._last_fetched + self._step:
+            stats.seeks += 1
+        self._last_fetched = index
+        self._cache_index = index
+        self._cache_view = view
+        return view
+
+    def unpack_range(self, fmt: struct.Struct, start: int, count: int) -> Iterator[tuple]:
+        """Decode records ``start .. start+count-1`` in the scan direction."""
+        record_size = fmt.size
+        if self._backward:
+            walk = self._reader._walk_backward(
+                record_size, count, (start + count) * record_size, _fetch=self._fetch
+            )
+            for view, span_start, n in walk:
+                if view is None:
+                    yield fmt.unpack(span_start)
+                else:
+                    values = list(fmt.iter_unpack(view[span_start:span_start + n * record_size]))
+                    yield from reversed(values)
+        else:
+            walk = self._reader._walk_forward(
+                record_size, start * record_size, count, _fetch=self._fetch
+            )
+            for view, span_start, n in walk:
+                if view is None:
+                    yield fmt.unpack(span_start)
+                else:
+                    yield from fmt.iter_unpack(view[span_start:span_start + n * record_size])
+
+    def records_range(self, record_size: int, start: int, count: int):
+        """Raw fixed-size records of one range, in the scan direction."""
+        if self._backward:
+            walk = self._reader._walk_backward(
+                record_size, count, (start + count) * record_size, _fetch=self._fetch
+            )
+            for view, span_start, n in walk:
+                if view is None:
+                    yield span_start
+                else:
+                    position = span_start + n * record_size
+                    for _ in range(n):
+                        position -= record_size
+                        yield view[position:position + record_size]
+        else:
+            walk = self._reader._walk_forward(
+                record_size, start * record_size, count, _fetch=self._fetch
+            )
+            for view, span_start, n in walk:
+                if view is None:
+                    yield span_start
+                else:
+                    end = span_start + n * record_size
+                    for position in range(span_start, end, record_size):
+                        yield view[position:position + record_size]
+
+    def close(self) -> None:
+        if self._source is not None:
+            self._source.close()
+            self._source = None
+        self._cache_index = None
+        self._cache_view = None
+
+    def __enter__(self) -> "RangedScan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

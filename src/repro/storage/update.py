@@ -57,9 +57,17 @@ from repro.storage.generations import (
     write_metadata,
     write_pointer,
 )
-from repro.storage.labels import LabelTable
+from repro.storage.labels import FIRST_TAG_INDEX, LabelTable
+from repro.storage.pageindex import (
+    PageIndex,
+    index_path_of,
+    invalidate_index_cache,
+    load_page_index,
+    summarize_records,
+    write_page_index,
+)
 from repro.storage.paging import DEFAULT_PAGE_SIZE, IOStatistics
-from repro.storage.records import encode_node, max_label_index
+from repro.storage.records import decode_node, encode_node, max_label_index
 from repro.tree.unranked import UnrankedNode, UnrankedTree
 from repro.tree.xml_io import parse_xml
 
@@ -182,7 +190,8 @@ FAULT_POINTS = (
     "analysis",  # analysis done, nothing written yet
     "mid-arb",  # first bytes of the new .arb written (torn file)
     "after-arb",  # new .arb complete and fsynced
-    "after-files",  # .lab and .meta written too
+    "mid-idx",  # .idx sidecar header written, body not yet (torn index)
+    "after-files",  # .lab, .meta and .idx written too
     "pointer-tmp",  # pointer temp file written, swap not yet performed
     "after-swap",  # pointer atomically replaced
 )
@@ -601,6 +610,122 @@ def _copy_range(src, dst, start: int, end: int, page_size: int, stats, wrote) ->
 
 
 # ---------------------------------------------------------------------- #
+# The `.idx` sidecar of the spliced generation
+# ---------------------------------------------------------------------- #
+
+
+def _write_generation_index(
+    *,
+    old_base: str,
+    new_base: str,
+    edits: list[tuple[int, int, bytes]],
+    old_file_size: int,
+    record_size: int,
+    page_size: int,
+    n_nodes: int,
+    n_label_indices: int,
+) -> None:
+    """Emit the new generation's page-summary sidecar, reusing the old one.
+
+    The splice copies whole old-file ranges at page-aligned shifts whenever
+    the edit deltas allow it; every new page lying wholly inside such a copy
+    inherits the old page's summary verbatim, and only pages overlapping a
+    re-encoded range (or shifted off the page grid) are re-summarised from
+    the new `.arb` bytes.  Like the old sidecar itself, this maintenance is
+    best-effort: a missing or torn old `.idx` just means recomputing more
+    pages.  Its I/O is bookkeeping, not splice work, and is deliberately
+    left out of the update's ``IOStatistics``.
+    """
+    new_size = n_nodes * record_size
+    n_pages = (new_size + page_size - 1) // page_size if new_size else 0
+    old_index = load_page_index(index_path_of(old_base))
+    if old_index is not None and (
+        old_index.record_size != record_size
+        or old_index.page_size != page_size
+        or old_index.n_records * record_size != old_file_size
+    ):
+        old_index = None
+
+    # Copied ranges in new-file byte coordinates, with their shift vs the old
+    # file (new position - old position; edits are record-aligned, so shifts
+    # always are too).
+    copies: list[tuple[int, int, int]] = []
+    old_position = 0
+    new_position = 0
+    for offset, old_length, replacement in edits:
+        if offset > old_position:
+            length = offset - old_position
+            copies.append((new_position, new_position + length, new_position - old_position))
+            new_position += length
+        new_position += len(replacement)
+        old_position = offset + old_length
+    if old_file_size > old_position:
+        length = old_file_size - old_position
+        copies.append((new_position, new_position + length, new_position - old_position))
+
+    pops = [0] * n_pages
+    pushes = [0] * n_pages
+    bits = [0] * n_pages
+    stale = list(range(n_pages))
+    if old_index is not None:
+        kept: list[int] = []
+        copy_cursor = 0
+        for page in range(n_pages):
+            new_lo = page * page_size
+            new_hi = min(new_lo + page_size, new_size)
+            while copy_cursor < len(copies) and copies[copy_cursor][1] < new_hi:
+                copy_cursor += 1
+            reused = False
+            if copy_cursor < len(copies):
+                seg_start, seg_end, shift = copies[copy_cursor]
+                if seg_start <= new_lo and new_hi <= seg_end and shift % page_size == 0:
+                    old_page = page - shift // page_size
+                    old_lo = old_page * page_size
+                    old_hi = min(old_lo + page_size, old_index.n_records * record_size)
+                    if 0 <= old_page < old_index.n_pages and old_hi - old_lo == new_hi - new_lo:
+                        pops[page] = old_index.pops[old_page]
+                        pushes[page] = old_index.pushes[old_page]
+                        bits[page] = old_index.label_bits[old_page]
+                        reused = True
+            if not reused:
+                kept.append(page)
+        stale = kept
+
+    if stale:
+        with open(new_base + ".arb", "rb") as handle:
+            for page in stale:
+                start = (page * page_size + record_size - 1) // record_size
+                end = min(((page + 1) * page_size + record_size - 1) // record_size, n_nodes)
+                if end <= start:
+                    continue
+                handle.seek(start * record_size)
+                data = handle.read((end - start) * record_size)
+                records = []
+                for position in range(0, len(data), record_size):
+                    node = decode_node(data[position : position + record_size], record_size)
+                    records.append(
+                        (node.label_index, node.has_first_child, node.has_second_child)
+                    )
+                pops[page], pushes[page], bits[page] = summarize_records(records)
+
+    index = PageIndex(
+        page_size=page_size,
+        record_size=record_size,
+        n_records=n_nodes,
+        n_label_indices=n_label_indices,
+        pops=tuple(pops),
+        pushes=tuple(pushes),
+        label_bits=tuple(bits),
+    )
+    write_page_index(
+        index_path_of(new_base),
+        index,
+        fsync=True,
+        mid_write_hook=lambda: fault_point("mid-idx"),
+    )
+
+
+# ---------------------------------------------------------------------- #
 # Applying updates
 # ---------------------------------------------------------------------- #
 
@@ -726,10 +851,21 @@ def _apply_locked(
         parent_generation=pointer.generation,
         fsync=True,
     )
+    _write_generation_index(
+        old_base=old_base,
+        new_base=new_base,
+        edits=plan.edits,
+        old_file_size=database.file_size(),
+        record_size=record_size,
+        page_size=page_size,
+        n_nodes=n_nodes,
+        n_label_indices=FIRST_TAG_INDEX + labels.n_tags,
+    )
     # A crashed earlier attempt may have left files under this generation
     # number (the counter only advances at the swap); make sure no pool ever
     # serves their pages now that the retry overwrote them.
     invalidate_default_pool(new_base + ".arb")
+    invalidate_index_cache(new_base)
     # The new files' *directory entries* must be durable before a durable
     # pointer can name them -- file-data fsyncs alone do not persist the
     # dirents on a power loss.

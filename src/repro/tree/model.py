@@ -278,6 +278,32 @@ class NodeSchema:
             facts.append(HAS_SECOND_CHILD if has_second_child else negate(HAS_SECOND_CHILD))
         return frozenset(facts)
 
+    def neutral_label_set(
+        self,
+        *,
+        is_root: bool,
+        has_first_child: bool,
+        has_second_child: bool,
+    ) -> frozenset[str]:
+        """The label set of any *irrelevant* label with the given node flags.
+
+        Every label outside ``positive_labels | negative_labels`` produces
+        the same label set for a fixed flag combination (it asserts no
+        positive label and misses every negative label), which is what makes
+        whole pages of such labels indistinguishable to the automaton -- the
+        foundation of the page-skipping index.
+        """
+        facts: list[str] = []
+        for neg in self.negative_labels:
+            facts.append(negate(label_predicate(neg)))
+        if ROOT in self.builtins:
+            facts.append(ROOT if is_root else negate(ROOT))
+        if HAS_FIRST_CHILD in self.builtins:
+            facts.append(HAS_FIRST_CHILD if has_first_child else negate(HAS_FIRST_CHILD))
+        if HAS_SECOND_CHILD in self.builtins:
+            facts.append(HAS_SECOND_CHILD if has_second_child else negate(HAS_SECOND_CHILD))
+        return frozenset(facts)
+
     def relevant_label(self, label: str) -> bool:
         """Whether a node label can influence the label set at all."""
         return label in self.positive_labels or label in self.negative_labels

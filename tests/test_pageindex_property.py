@@ -1,0 +1,257 @@
+"""Differential and crash properties of the `.idx` page-skipping sidecar.
+
+The sidecar is a pure accelerator: with it, a selective batch skips pages
+outright; without it (``use_index=False``, a missing sidecar, or a torn
+one), the same batch runs the plain full scans.  The invariants:
+
+* **answers are identical** -- indexed and full-scan evaluation select the
+  same nodes for every query of every batch, on freshly built databases
+  and on spliced generations alike;
+* **the index only ever helps** -- ``pages_read`` with the index is never
+  above the full-scan count;
+* **corruption is safe** -- a torn/truncated/missing sidecar is detected
+  (checksum, size, magic) and silently degrades to full scans;
+* **crashes are safe** -- a crash while the splice writes the new
+  generation's sidecar leaves the old generation fully intact, and a
+  retry produces a valid new sidecar.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+from repro.plan.cache import PlanCache
+from repro.storage.generations import read_pointer, resolve_generation
+from repro.storage.pageindex import (
+    index_path_of,
+    invalidate_index_cache,
+    load_page_index,
+)
+from repro.storage.update import (
+    FAULT_ENV,
+    FAULT_EXIT_CODE,
+    DeleteSubtree,
+    InsertSubtree,
+    Relabel,
+)
+from tests.strategies import tmnf_programs as programs
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+COMMON_SETTINGS = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: Small pages so even hypothesis-sized documents span several of them.
+PAGE_SIZE = 512
+
+#: Tag names outside the program strategy's ``a``/``b`` alphabet: sections
+#: made of these are exactly what the index can prove irrelevant.
+_NOISE_TAGS = ("n0", "n1", "n2", "n3")
+
+
+@st.composite
+def sectioned_documents(draw) -> str:
+    """XML documents made of sections, most of them index-skippable noise."""
+    sections = draw(
+        st.lists(
+            st.tuples(
+                st.booleans(),  # does the section use program-relevant labels?
+                st.integers(min_value=1, max_value=40),
+                st.integers(min_value=0, max_value=len(_NOISE_TAGS) - 1),
+            ),
+            min_size=1,
+            max_size=12,
+        )
+    )
+    parts = []
+    for relevant, size, tag in sections:
+        wrap = "b" if relevant else _NOISE_TAGS[tag]
+        leaf = "a" if relevant else _NOISE_TAGS[(tag + 1) % len(_NOISE_TAGS)]
+        parts.append(f"<{wrap}>" + f"<{leaf}/>" * size + f"</{wrap}>")
+    return "<r>" + "".join(parts) + "</r>"
+
+
+def _build(document: str, directory: str) -> Database:
+    database = Database.build(document, f"{directory}/doc", page_size=PAGE_SIZE)
+    database.plan_cache = PlanCache()
+    return database
+
+
+def _answers(batch) -> list[dict[str, list[int]]]:
+    """The selected nodes of every query, in a comparable shape."""
+    return [{pred: sorted(nodes) for pred, nodes in result.selected.items()} for result in batch.results]
+
+
+def _differential(database: Database, batch) -> None:
+    indexed = database.query_many(batch)
+    full = database.query_many(batch, use_index=False)
+    assert _answers(indexed) == _answers(full)
+    assert indexed.arb_io.pages_read <= full.arb_io.pages_read
+    assert full.arb_io.seeks == 2  # the plain scan pair, pinned elsewhere too
+    assert indexed.arb_io.seeks >= 2  # each skip adds a discontinuity
+
+
+# ---------------------------------------------------------------------- #
+# Differential properties
+# ---------------------------------------------------------------------- #
+
+
+@given(
+    document=sectioned_documents(),
+    batch=st.lists(programs(), min_size=1, max_size=3),
+)
+@settings(max_examples=25, **COMMON_SETTINGS)
+def test_indexed_batches_match_full_scans(document, batch):
+    with tempfile.TemporaryDirectory() as directory:
+        _differential(_build(document, directory), batch)
+
+
+@given(
+    document=sectioned_documents(),
+    batch=st.lists(programs(), min_size=1, max_size=2),
+    data=st.data(),
+)
+@settings(max_examples=15, **COMMON_SETTINGS)
+def test_indexed_batches_match_full_scans_after_updates(document, batch, data):
+    """The splice-maintained sidecar of a new generation stays truthful."""
+    with tempfile.TemporaryDirectory() as directory:
+        database = _build(document, directory)
+        n = database.n_nodes
+        edits = [
+            Relabel(
+                data.draw(st.integers(0, n - 1), label="relabel node"),
+                data.draw(st.sampled_from(("a", "b") + _NOISE_TAGS), label="label"),
+            ),
+            InsertSubtree(0, "<b><a/><n2/></b>", position=0),
+        ]
+        if n > 1:
+            # Ids are interpreted against the post-insert generation, whose
+            # node count only grew, so any id of the original range is valid.
+            edits.append(DeleteSubtree(data.draw(st.integers(1, n - 1), label="delete")))
+        database.apply(edits)
+        assert database.generation > 0
+        _differential(database, batch)
+
+
+# ---------------------------------------------------------------------- #
+# Deterministic selectivity
+# ---------------------------------------------------------------------- #
+
+#: 40 sections of 40 leaves each; a one-section query touches 1/40th of it.
+_SECTIONED_DOC = "<r>" + "".join(f"<s{i:02d}>" + "<x/>" * 40 + f"</s{i:02d}>" for i in range(40)) + "</r>"
+
+_SELECTIVE_QUERY = "QUERY :- V.Label[s03];"
+
+
+def test_selective_batch_reads_under_a_quarter_of_the_pages(tmp_path):
+    database = Database.build(_SECTIONED_DOC, str(tmp_path / "doc"), page_size=PAGE_SIZE)
+    database.plan_cache = PlanCache()
+    indexed = database.query_many([_SELECTIVE_QUERY])
+    full = database.query_many([_SELECTIVE_QUERY], use_index=False)
+    assert _answers(indexed) == _answers(full)
+    assert indexed.arb_io.pages_read * 4 < full.arb_io.pages_read
+    # Skipped pages are never read at all: the byte counter shrank too.
+    assert indexed.arb_io.bytes_read < full.arb_io.bytes_read
+
+
+# ---------------------------------------------------------------------- #
+# Corruption: a broken sidecar degrades to full scans, never to wrong answers
+# ---------------------------------------------------------------------- #
+
+
+def _corrupt_flip(path: str) -> None:
+    payload = bytearray(Path(path).read_bytes())
+    payload[len(payload) // 2] ^= 0xFF
+    Path(path).write_bytes(bytes(payload))
+
+
+def _corrupt_truncate(path: str) -> None:
+    payload = Path(path).read_bytes()
+    Path(path).write_bytes(payload[: len(payload) // 2])
+
+
+def _corrupt_remove(path: str) -> None:
+    os.remove(path)
+
+
+@pytest.mark.parametrize("corrupt", [_corrupt_flip, _corrupt_truncate, _corrupt_remove])
+def test_torn_index_falls_back_to_full_scans(tmp_path, corrupt):
+    base = str(tmp_path / "doc")
+    database = Database.build(_SECTIONED_DOC, base, page_size=PAGE_SIZE)
+    database.plan_cache = PlanCache()
+    full = database.query_many([_SELECTIVE_QUERY], use_index=False)
+
+    _, gen_base = resolve_generation(base)
+    corrupt(index_path_of(gen_base))
+    invalidate_index_cache(gen_base)
+    assert load_page_index(index_path_of(gen_base)) is None
+
+    degraded = database.query_many([_SELECTIVE_QUERY])
+    assert _answers(degraded) == _answers(full)
+    assert degraded.arb_io.pages_read == full.arb_io.pages_read
+
+
+# ---------------------------------------------------------------------- #
+# Crash injection: dying while the new generation's sidecar is half-written
+# ---------------------------------------------------------------------- #
+
+_CRASH_SCRIPT = """
+import sys
+from repro.storage.update import InsertSubtree, apply_update
+apply_update(sys.argv[1], InsertSubtree(0, "<b><a/></b>", position=0), page_size=512)
+print("survived")
+"""
+
+
+def _crash_apply(base: str, fault: str | None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if fault is None:
+        env.pop(FAULT_ENV, None)
+    else:
+        env[FAULT_ENV] = fault
+    return subprocess.run(
+        [sys.executable, "-c", _CRASH_SCRIPT, base],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def test_mid_index_crash_preserves_old_generation_and_retry_recovers(tmp_path):
+    base = str(tmp_path / "doc")
+    database = Database.build(_SECTIONED_DOC, base, page_size=PAGE_SIZE)
+    database.plan_cache = PlanCache()
+    before = _answers(database.query_many([_SELECTIVE_QUERY]))
+
+    completed = _crash_apply(base, "mid-idx")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+    assert "survived" not in completed.stdout
+
+    # The sidecar write happens before the pointer swap: the old generation
+    # (files, sidecar and answers) is untouched by the dead attempt.
+    assert read_pointer(base).generation == 0
+    reopened = Database.open(base, page_size=PAGE_SIZE)
+    reopened.plan_cache = PlanCache()
+    assert load_page_index(index_path_of(resolve_generation(base)[1])) is not None
+    assert _answers(reopened.query_many([_SELECTIVE_QUERY])) == before
+
+    # A retry over the torn leftovers succeeds and writes a valid sidecar.
+    completed = _crash_apply(base, None)
+    assert completed.returncode == 0, completed.stderr
+    assert "survived" in completed.stdout
+
+    after = Database.open(base, page_size=PAGE_SIZE)
+    after.plan_cache = PlanCache()
+    assert after.generation > 0
+    assert load_page_index(index_path_of(resolve_generation(base)[1])) is not None
+    _differential(after, [_SELECTIVE_QUERY])
