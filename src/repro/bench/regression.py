@@ -1,7 +1,11 @@
 """The benchmark-regression harness behind the ``bench-regression`` CI gate.
 
 Runs the *fast* benchmark subset -- figure-6-style datasets, full
-forward/backward `.arb` scans and a disk query batch in both pager modes,
+forward/backward `.arb` scans and a disk query batch in both pager modes
+(the batch twice over: ``query-batch`` pins the pure-Python lockstep loop,
+``query-batch-kernel`` forces the vectorised numpy kernel and asserts
+in-process that its answers and access-pattern counters match the pure
+loop exactly while beating it by :data:`MIN_KERNEL_SPEEDUP`),
 a copy-on-write update-throughput benchmark (relabel rounds and the query
 batch on the updated generation), and a page-skipping selectivity sweep
 (batches of 1/10/100 section queries over a sectioned document; the `.idx`
@@ -44,6 +48,7 @@ import time
 
 from repro.bench.figure6 import load_block_tree
 from repro.engine import Database
+from repro.plan.kernel import numpy_available
 from repro.storage.build import build_database
 from repro.storage.database import ArbDatabase
 from repro.storage.paging import IOStatistics, PagerConfig
@@ -83,6 +88,12 @@ SELECTIVITY_BATCH_SIZES = (1, 10, SELECTIVITY_SECTIONS)
 
 #: Default wall-clock regression tolerance (after calibration).
 DEFAULT_TOLERANCE = 0.25
+
+#: The numpy lockstep kernel must beat the pure-Python loop by at least this
+#: factor on the query-batch benchmarks (measured ~5.5-7x on the gate's
+#: datasets; 3x leaves headroom for noisy CI runners without letting the
+#: kernel silently degrade into a no-op).
+MIN_KERNEL_SPEEDUP = 3.0
 
 #: Counters that must match the baseline exactly.
 EXACT_FIELDS = ("pages_read", "seeks", "bytes_read")
@@ -154,9 +165,11 @@ def run_benchmarks(
                 database = Database.open(base, pager=pager)
                 # One untimed warm-up evaluation so plan compilation and lazy
                 # automaton construction never leak into the gated timing.
-                database.query_many(queries, engine="disk", temp_dir=tmp)
+                # The kernel is pinned to the pure-Python loop so this entry
+                # keeps timing the baseline loop whatever REPRO_KERNEL says.
+                database.query_many(queries, engine="disk", temp_dir=tmp, kernel="python")
                 seconds, batch = _best_of(
-                    lambda: database.query_many(queries, engine="disk", temp_dir=tmp),
+                    lambda: database.query_many(queries, engine="disk", temp_dir=tmp, kernel="python"),
                     repeats,
                 )
                 entries.append(
@@ -167,6 +180,23 @@ def run_benchmarks(
                         selected=sum(result.count() for result in batch.results),
                     )
                 )
+                if numpy_available():
+                    name = f"query-batch-kernel/{block}/{mode}"
+                    database.query_many(queries, engine="disk", temp_dir=tmp, kernel="numpy")
+                    kernel_seconds, kernel_batch = _best_of(
+                        lambda: database.query_many(queries, engine="disk", temp_dir=tmp, kernel="numpy"),
+                        repeats,
+                    )
+                    _assert_kernel_parity(name, batch, kernel_batch, seconds, kernel_seconds)
+                    entries.append(
+                        _entry(
+                            name,
+                            kernel_seconds,
+                            kernel_batch.arb_io,
+                            selected=sum(result.count() for result in kernel_batch.results),
+                            speedup=round(seconds / kernel_seconds, 2),
+                        )
+                    )
                 per_mode_io[mode] = (forward_io, backward_io, batch.arb_io)
             # The recorded artifact itself guarantees mode-independence; fail
             # the run outright if the two modes ever disagree on a counter.
@@ -223,9 +253,11 @@ def _update_benchmarks(
 
     for mode in MODES:
         database = Database.open(base, pager=PagerConfig(mode=mode))
-        database.query_many(queries, engine="disk", temp_dir=tmp)  # warm-up
+        # Pinned to the pure loop like query-batch, so the entry stays
+        # comparable to its baseline whatever REPRO_KERNEL says.
+        database.query_many(queries, engine="disk", temp_dir=tmp, kernel="python")  # warm-up
         seconds, batch = _best_of(
-            lambda: database.query_many(queries, engine="disk", temp_dir=tmp),
+            lambda: database.query_many(queries, engine="disk", temp_dir=tmp, kernel="python"),
             repeats,
         )
         entries.append(
@@ -311,6 +343,30 @@ def _entry(name: str, seconds: float, io: IOStatistics, **extra) -> dict:
     }
     entry.update(extra)
     return entry
+
+
+def _assert_kernel_parity(name, pure, fast, pure_seconds: float, fast_seconds: float) -> None:
+    """The numpy kernel must equal the pure loop exactly -- and beat it.
+
+    Answers and access-pattern counters are asserted in-process on every
+    run (not just against the baseline): a kernel that diverges or that
+    lost its speed advantage fails the benchmark job outright.  The
+    measured speedup rides along in the JSON entry as telemetry.
+    """
+    if [r.selected for r in fast.results] != [r.selected for r in pure.results]:
+        raise AssertionError(f"{name}: numpy kernel answers differ from the pure-Python loop")
+    pure_io = tuple(getattr(pure.arb_io, field) for field in EXACT_FIELDS)
+    fast_io = tuple(getattr(fast.arb_io, field) for field in EXACT_FIELDS)
+    if pure_io != fast_io:
+        raise AssertionError(
+            f"{name}: numpy kernel arb I/O counters differ from the pure loop: "
+            f"{fast_io} vs {pure_io} ({'/'.join(EXACT_FIELDS)})"
+        )
+    if fast_seconds * MIN_KERNEL_SPEEDUP > pure_seconds:
+        raise AssertionError(
+            f"{name}: numpy kernel is only {pure_seconds / fast_seconds:.2f}x faster than "
+            f"the pure loop (gate: >= {MIN_KERNEL_SPEEDUP:.0f}x)"
+        )
 
 
 def _assert_modes_agree(block: str, per_mode_io: dict) -> None:

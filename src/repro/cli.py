@@ -108,6 +108,8 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--no-index", action="store_true",
                        help="ignore the .idx page-summary sidecar: force full scans "
                             "even for selective batches (identical answers)")
+    query.add_argument("--kernel", choices=("auto", "numpy", "python"), default=None,
+                       help="lockstep automaton kernel for disk scans: vectorised numpy or the pure-Python loop (default: REPRO_KERNEL or auto-detect; identical answers and I/O counters)")
     query.add_argument("--ids", action="store_true", help="print selected node ids")
     query.add_argument("--mark-up", action="store_true",
                        help="print the document with selected nodes marked up")
@@ -176,6 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="page access mode for per-document .arb scans")
     cquery.add_argument("--no-index", action="store_true",
                         help="ignore .idx page-summary sidecars (identical answers)")
+    cquery.add_argument("--kernel", choices=("auto", "numpy", "python"), default=None,
+                        help="lockstep automaton kernel for disk scans: vectorised numpy or the pure-Python loop (default: REPRO_KERNEL or auto-detect; identical answers and I/O counters)")
     cquery.add_argument("--ids", action="store_true",
                         help="print selected node ids per document")
 
@@ -204,6 +208,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="page access mode for .arb scans of the served target")
     serve.add_argument("--no-index", action="store_true",
                        help="ignore .idx page-summary sidecars for served batches")
+    serve.add_argument("--kernel", choices=("auto", "numpy", "python"), default=None,
+                       help="lockstep automaton kernel for disk scans: vectorised numpy or the pure-Python loop (default: REPRO_KERNEL or auto-detect; identical answers and I/O counters)")
     serve.add_argument("--ready-file", metavar="PATH",
                        help="write 'host port' to PATH once the listener is bound")
 
@@ -267,7 +273,7 @@ def _command_query(args: argparse.Namespace) -> int:
         raise ReproError("multiple queries given; use --batch to evaluate them together")
     result = database.query(
         queries[0], language=language, query_predicate=args.query_predicate,
-        engine=args.engine,
+        engine=args.engine, kernel=args.kernel,
     )
     predicate = result.program.query_predicates[0]
     statistics = result.statistics
@@ -293,7 +299,7 @@ def _run_batch_query(database: Database, queries: list[str], language: str,
         raise ReproError("--mark-up is not available with --batch")
     batch = database.query_many(
         queries, language=language, query_predicate=args.query_predicate,
-        engine=args.engine, use_index=not args.no_index,
+        engine=args.engine, use_index=not args.no_index, kernel=args.kernel,
     )
     print(f"batch           : {len(batch)} queries ({batch.backend})")
     for index, result in enumerate(batch):
@@ -355,7 +361,7 @@ def _command_collection_query(args: argparse.Namespace) -> int:
     result = collection.query_many(
         queries, language=language, query_predicate=args.query_predicate,
         engine=args.engine, n_workers=args.workers, executor=args.executor,
-        pager_mode=args.pager, use_index=not args.no_index,
+        pager_mode=args.pager, use_index=not args.no_index, kernel=args.kernel,
     )
     statistics = result.statistics
     print(f"collection      : {len(result)} documents, {statistics.nodes} nodes")
@@ -412,6 +418,7 @@ def _command_serve(args: argparse.Namespace) -> int:
                 executor=args.executor,
                 pager_mode=args.pager,
                 use_index=not args.no_index,
+                kernel=args.kernel,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown

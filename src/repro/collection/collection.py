@@ -311,6 +311,7 @@ class Collection:
         temp_dir: str | None = None,
         pager_mode: str | None = None,
         use_index: bool = True,
+        kernel: str | None = None,
     ) -> CollectionQueryResult:
         """Evaluate one query over every document of the collection."""
         return self.query_many(
@@ -324,6 +325,7 @@ class Collection:
             temp_dir=temp_dir,
             pager_mode=pager_mode,
             use_index=use_index,
+            kernel=kernel,
         )
 
     def query_many(
@@ -339,6 +341,7 @@ class Collection:
         temp_dir: str | None = None,
         pager_mode: str | None = None,
         use_index: bool = True,
+        kernel: str | None = None,
     ) -> CollectionQueryResult:
         """Evaluate ``k`` queries over every document, sharded across workers.
 
@@ -362,6 +365,7 @@ class Collection:
             temp_dir=temp_dir,
             pager_mode=pager_mode,
             use_index=use_index,
+            kernel=kernel,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

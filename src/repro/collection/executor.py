@@ -121,6 +121,7 @@ class _ShardTask:
     # and each worker should attach its own process-wide buffer pool.
     pager_mode: str | None = None
     use_index: bool = True
+    kernel: str | None = None
 
 
 @dataclass
@@ -184,6 +185,7 @@ def _evaluate_document(
                 temp_dir=task.temp_dir,
                 collect_selected_nodes=task.collect_selected_nodes,
                 use_index=task.use_index,
+                kernel=task.kernel,
             )
             results = list(batch.results)
             arb_io, state_io = batch.arb_io, batch.state_io
@@ -195,7 +197,8 @@ def _evaluate_document(
             state_file_bytes = 0
             for plan in plans:
                 chosen = choose_backend(plan, database, engine=task.engine)
-                result = chosen.execute(plan, database, temp_dir=task.temp_dir)
+                result = chosen.execute(plan, database, temp_dir=task.temp_dir,
+                                        kernel=task.kernel)
                 if not task.collect_selected_nodes:
                     result.selected = {pred: [] for pred in result.selected}
                 if result.io is not None:
@@ -240,6 +243,7 @@ def run_collection_query(
     temp_dir: str | None = None,
     pager_mode: str | None = None,
     use_index: bool = True,
+    kernel: str | None = None,
 ) -> CollectionQueryResult:
     """Evaluate ``queries`` over every document, sharded across ``n_workers``.
 
@@ -247,6 +251,8 @@ def run_collection_query(
     share the worker process's buffer pool, ``"mmap"`` maps each document);
     the per-document I/O counters are identical either way.  ``use_index``
     lets each document's batch skip pages through its ``.idx`` sidecar.
+    ``kernel`` picks the lockstep automaton loop per worker (numpy or pure
+    Python; identical answers and counters).
     """
     if not queries:
         raise EvaluationError("a collection query needs at least one query")
@@ -284,6 +290,7 @@ def run_collection_query(
             temp_dir=temp_dir,
             pager_mode=pager_mode,
             use_index=use_index,
+            kernel=kernel,
         )
         for index, shard in enumerate(shards)
     ]

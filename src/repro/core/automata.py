@@ -23,10 +23,49 @@ __all__ = [
     "NondeterministicBottomUpAutomaton",
     "DeterministicBottomUpAutomaton",
     "TopDownAutomaton",
+    "StateInterner",
 ]
 
 State = Hashable
 Symbol = Hashable
+
+
+class StateInterner:
+    """Dense integer ids for hashable automaton states.
+
+    The bridge from the hashable-state automaton model to table form: id 0
+    is the first value ever interned and ids grow densely, so interned ids
+    index directly into arrays (``values`` is the inverse mapping).  Used by
+    the vectorised lockstep kernel (:mod:`repro.plan.kernel`) to number its
+    composite states, and available wherever an explicit automaton needs its
+    states enumerated.
+    """
+
+    __slots__ = ("_ids", "values")
+
+    def __init__(self, values: Iterable[State] = ()) -> None:
+        self.values: list[State] = []
+        self._ids: dict[State, int] = {}
+        for value in values:
+            self.intern(value)
+
+    def intern(self, value: State) -> int:
+        """The id of ``value``, assigning the next dense id on first sight."""
+        found = self._ids.get(value)
+        if found is None:
+            found = self._ids[value] = len(self.values)
+            self.values.append(value)
+        return found
+
+    def get(self, value: State) -> int | None:
+        """The id of ``value`` if already interned, else ``None``."""
+        return self._ids.get(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, state_id: int) -> State:
+        return self.values[state_id]
 
 
 @dataclass

@@ -343,6 +343,7 @@ class Database:
         memoize: bool = True,
         engine: str | None = None,
         temp_dir: str | None = None,
+        kernel: str | None = None,
     ) -> QueryResult:
         """Evaluate a node-selecting query and return the selected nodes.
 
@@ -351,6 +352,10 @@ class Database:
         planner's choice); it is an error to name a backend that cannot run
         this query on this database.  ``force_disk`` is the legacy spelling of
         ``engine="disk"`` / ``engine="memory"``.
+
+        ``kernel`` picks the disk backend's automaton loop (``"numpy"``,
+        ``"python"`` or ``"auto"``; default defers to ``REPRO_KERNEL``).
+        Answers, statistics and I/O counters are identical either way.
         """
         engine = self._resolve_engine(engine, force_disk)
         plan, hit = self.plan(
@@ -360,7 +365,8 @@ class Database:
             plan, self, engine=engine, keep_true_predicates=keep_true_predicates
         )
         result = backend.execute(
-            plan, self, keep_true_predicates=keep_true_predicates, temp_dir=temp_dir
+            plan, self, keep_true_predicates=keep_true_predicates, temp_dir=temp_dir,
+            kernel=kernel,
         )
         if hit is not None:
             result.statistics.plan_cache_hits = int(hit)
@@ -378,6 +384,7 @@ class Database:
         temp_dir: str | None = None,
         collect_selected_nodes: bool = True,
         use_index: bool = True,
+        kernel: str | None = None,
     ) -> BatchQueryResult:
         """Evaluate ``k`` queries together; on disk, in one pair of linear scans.
 
@@ -406,7 +413,7 @@ class Database:
             batch = evaluate_batch_on_disk(
                 plans, self._disk, temp_dir=temp_dir,
                 collect_selected_nodes=collect_selected_nodes,
-                use_index=use_index,
+                use_index=use_index, kernel=kernel,
             )
         else:
             if engine == "disk":
@@ -415,7 +422,7 @@ class Database:
             aggregate = BatchQueryResult(results=results)
             for plan in plans:
                 backend = choose_backend(plan, self, engine=engine)
-                result = backend.execute(plan, self, temp_dir=temp_dir)
+                result = backend.execute(plan, self, temp_dir=temp_dir, kernel=kernel)
                 if not collect_selected_nodes:
                     result.selected = {pred: [] for pred in result.selected}
                 results.append(result)

@@ -63,6 +63,7 @@ class ExecutionBackend:
         *,
         keep_true_predicates: bool = False,
         temp_dir: str | None = None,
+        kernel: str | None = None,
     ) -> QueryResult:
         raise NotImplementedError
 
@@ -78,7 +79,8 @@ class MemoryBackend(ExecutionBackend):
     def can_execute(self, plan: "QueryPlan", database: "Database") -> bool:
         return True  # a disk database can always be materialised
 
-    def execute(self, plan, database, *, keep_true_predicates=False, temp_dir=None):
+    def execute(self, plan, database, *, keep_true_predicates=False, temp_dir=None,
+                kernel=None):
         plan.begin_run()
         evaluation = plan.evaluator.evaluate(
             database.binary_tree(), keep_true_predicates=keep_true_predicates
@@ -103,12 +105,14 @@ class DiskBackend(ExecutionBackend):
     def can_execute(self, plan: "QueryPlan", database: "Database") -> bool:
         return database.is_on_disk
 
-    def execute(self, plan, database, *, keep_true_predicates=False, temp_dir=None):
+    def execute(self, plan, database, *, keep_true_predicates=False, temp_dir=None,
+                kernel=None):
         if database.disk is None:
             raise EvaluationError("cannot force disk evaluation: database is in memory")
         plan.begin_run()
-        engine = DiskQueryEngine(plan.program, memoize=plan.memoize, core=plan.evaluator)
-        disk_result = engine.evaluate(database.disk, temp_dir=temp_dir)
+        engine = DiskQueryEngine(plan.program, memoize=plan.memoize, core=plan.evaluator,
+                                 kernel=kernel)
+        disk_result = engine.evaluate(database.disk, temp_dir=temp_dir, plan=plan)
         return QueryResult(
             program=plan.program,
             selected=disk_result.selected,
@@ -127,7 +131,8 @@ class StreamingBackend(ExecutionBackend):
     def can_execute(self, plan: "QueryPlan", database: "Database") -> bool:
         return plan.streaming_query is not None
 
-    def execute(self, plan, database, *, keep_true_predicates=False, temp_dir=None):
+    def execute(self, plan, database, *, keep_true_predicates=False, temp_dir=None,
+                kernel=None):
         from repro.tree.xml_io import tree_to_sax_events
 
         engine = plan.streaming_engine
@@ -178,7 +183,8 @@ class FixpointBackend(ExecutionBackend):
     def can_execute(self, plan: "QueryPlan", database: "Database") -> bool:
         return True
 
-    def execute(self, plan, database, *, keep_true_predicates=False, temp_dir=None):
+    def execute(self, plan, database, *, keep_true_predicates=False, temp_dir=None,
+                kernel=None):
         stats = plan.begin_run()
         started = time.perf_counter()
         result = evaluate_fixpoint(plan.program, database.binary_tree())

@@ -52,6 +52,7 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.core.two_phase import BOTTOM, EvaluationStatistics
 from repro.errors import EvaluationError
+import repro.plan.kernel as kernel_mod
 from repro.plan.result import BatchQueryResult, QueryResult
 from repro.storage import pageindex
 from repro.storage.database import ArbDatabase
@@ -72,12 +73,19 @@ def evaluate_batch_on_disk(
     temp_dir: str | None = None,
     collect_selected_nodes: bool = True,
     use_index: bool = True,
+    kernel: str | None = None,
 ) -> BatchQueryResult:
     """Evaluate ``plans`` over ``database`` with one backward + one forward scan.
 
     ``use_index`` (default on) lets the scan pair skip pages through the
     generation's ``.idx`` sidecar when one exists; answers are identical
     either way, only ``pages_read`` shrinks.
+
+    ``kernel`` picks the lockstep implementation (``"numpy"``, ``"python"``
+    or ``"auto"``; default defers to ``REPRO_KERNEL``/auto-detect).  The
+    numpy kernel produces identical answers, statistics and I/O counters --
+    the differential suite ``tests/test_kernel_differential.py`` enforces
+    it the way buffered==mmap is enforced.
     """
     if not plans:
         raise EvaluationError("batch evaluation needs at least one query")
@@ -94,6 +102,7 @@ def evaluate_batch_on_disk(
         plan.begin_run()
 
     skip = _compute_skip(plans, database) if use_index else None
+    runner = kernel_mod.batch_kernel(plans, database, skip, choice=kernel)
 
     arb_io = IOStatistics()
     state_io = IOStatistics()
@@ -109,14 +118,22 @@ def evaluate_batch_on_disk(
     handle.close()
     try:
         started = time.perf_counter()
-        _run_phase1(plans, database, state_path, entry_struct, arb_io, state_io, skip)
+        if runner is not None:
+            runner.run_phase1(state_path, entry_struct, arb_io, state_io)
+        else:
+            _run_phase1(plans, database, state_path, entry_struct, arb_io, state_io, skip)
         phase1_seconds = time.perf_counter() - started
         state_file_bytes = os.path.getsize(state_path)
         started = time.perf_counter()
-        selected, counts, _ = _run_phase2(
-            plans, database, state_path, entry_struct, arb_io, state_io,
-            collect_selected_nodes, skip,
-        )
+        if runner is not None:
+            selected, counts, _ = runner.run_phase2(
+                state_path, entry_struct, arb_io, state_io, collect_selected_nodes
+            )
+        else:
+            selected, counts, _ = _run_phase2(
+                plans, database, state_path, entry_struct, arb_io, state_io,
+                collect_selected_nodes, skip,
+            )
         phase2_seconds = time.perf_counter() - started
     finally:
         if os.path.exists(state_path):

@@ -111,6 +111,7 @@ class QueryService:
         executor: str = "thread",
         pager_mode: str | None = None,
         use_index: bool = True,
+        kernel: str | None = None,
     ):
         if not isinstance(target, (Database, Collection)):
             raise ServiceError(
@@ -136,6 +137,9 @@ class QueryService:
         self.pager_mode = pager_mode
         #: Whether coalesced batches may skip pages via `.idx` sidecars.
         self.use_index = use_index
+        #: Lockstep automaton kernel for disk batches (numpy or pure Python;
+        #: identical answers and counters either way).
+        self.kernel = kernel
         self.plan_cache = target.plan_cache
 
         self._stats = ServiceStats()
@@ -516,6 +520,7 @@ class QueryService:
                     temp_dir=self.temp_dir,
                     collect_selected_nodes=self.collect_selected_nodes,
                     use_index=self.use_index,
+                    kernel=self.kernel,
                 )
             return list(batch.results), batch.arb_io
         results = []
@@ -523,7 +528,8 @@ class QueryService:
         with plans_locked(plans):
             for plan in plans:
                 backend = choose_backend(plan, database)
-                result = backend.execute(plan, database, temp_dir=self.temp_dir)
+                result = backend.execute(plan, database, temp_dir=self.temp_dir,
+                                         kernel=self.kernel)
                 if not self.collect_selected_nodes:
                     result.selected = {pred: [] for pred in result.selected}
                 if result.io is not None:
@@ -541,6 +547,7 @@ class QueryService:
             temp_dir=self.temp_dir,
             pager_mode=self.pager_mode,
             use_index=self.use_index,
+            kernel=self.kernel,
         )
         # Demultiplex the corpus-wide batch into per-request single-query
         # views; they share the batch's I/O counter objects, so idempotent

@@ -192,6 +192,26 @@ class ArbDatabase:
         reader = PagedReader(self.arb_path, self.page_size, stats=stats, config=config)
         return _RangedRecords(reader, self.record_size, backward=backward)
 
+    def ranged_spans(self, *, backward: bool, stats: IOStatistics | None = None,
+                     page_filter=None):
+        """A multi-range *page-span* scanner (the vectorised kernel's read path).
+
+        Returns a :class:`~repro.storage.paging.RangedScan` whose
+        :meth:`~repro.storage.paging.RangedScan.spans_range` yields raw
+        ``(view, start, n_records)`` record spans for whole-page decoding
+        (e.g. ``numpy.frombuffer``) instead of per-record tuples.  The
+        underlying page source, caching and I/O accounting are identical to
+        :meth:`ranged_records`: scans that fetch the same page sequence
+        report the same counters, whichever record view they use.
+        """
+        config = self.pager
+        if page_filter is not None:
+            from dataclasses import replace as _replace
+
+            config = _replace(config, page_filter=page_filter)
+        reader = PagedReader(self.arb_path, self.page_size, stats=stats, config=config)
+        return reader.ranged_scan(backward=backward)
+
     def _decoded_records(self, reader: PagedReader, backward: bool) -> Iterator[NodeRecord]:
         record_size = self.record_size
         fmt = record_struct(record_size)

@@ -71,6 +71,21 @@ class DiskEvaluationResult:
         return self.selected[predicate]
 
 
+class _PlanView:
+    """Minimal plan-shaped view of an engine for the lockstep kernel.
+
+    Deliberately not weak-referenceable: the kernel detects that and skips
+    the per-plan table memo, computing everything directly (one engine
+    evaluation has no cross-run state to keep).
+    """
+
+    __slots__ = ("evaluator", "program")
+
+    def __init__(self, engine: "DiskQueryEngine") -> None:
+        self.evaluator = engine.core
+        self.program = engine.program
+
+
 class DiskQueryEngine:
     """Evaluate a TMNF program over an `.arb` database in two linear scans.
 
@@ -82,21 +97,28 @@ class DiskQueryEngine:
 
     def __init__(self, program: "TMNFProgram", *, memoize: bool = True,
                  collect_selected_nodes: bool = True,
-                 core: TwoPhaseEvaluator | None = None):
+                 core: TwoPhaseEvaluator | None = None,
+                 kernel: str | None = None):
         self.program = program
         self.core = core if core is not None else TwoPhaseEvaluator(program, memoize=memoize)
         self.collect_selected_nodes = collect_selected_nodes
+        self.kernel = kernel
         self._schema = program.prop_local().schema
 
     # ------------------------------------------------------------------ #
 
-    def evaluate(self, database: ArbDatabase, *, temp_dir: str | None = None) -> DiskEvaluationResult:
+    def evaluate(self, database: ArbDatabase, *, temp_dir: str | None = None,
+                 plan=None) -> DiskEvaluationResult:
         """Run both phases against ``database``.
 
         ``temp_dir`` controls where the temporary state file is created
-        (default: alongside the database).
+        (default: alongside the database).  ``plan`` optionally names the
+        :class:`~repro.plan.plan.QueryPlan` whose evaluator this engine
+        shares, so the numpy kernel (when selected) can reuse the plan's
+        compiled tables; answers and statistics do not depend on it.
         """
         io = IOStatistics()
+        runner = self._kernel_runner(database, plan)
         directory = temp_dir or os.path.dirname(os.path.abspath(database.arb_path)) or "."
         handle = tempfile.NamedTemporaryFile(
             prefix=os.path.basename(database.base_path) + ".state.",
@@ -106,9 +128,15 @@ class DiskQueryEngine:
         state_path = handle.name
         handle.close()
         try:
-            phase1_depth = self._run_phase1(database, state_path, io)
+            if runner is not None:
+                phase1_depth = self._run_phase1_kernel(runner, state_path, io)
+            else:
+                phase1_depth = self._run_phase1(database, state_path, io)
             state_file_bytes = os.path.getsize(state_path)
-            selected, counts, phase2_depth = self._run_phase2(database, state_path, io)
+            if runner is not None:
+                selected, counts, phase2_depth = self._run_phase2_kernel(runner, state_path, io)
+            else:
+                selected, counts, phase2_depth = self._run_phase2(database, state_path, io)
         finally:
             if os.path.exists(state_path):
                 os.remove(state_path)
@@ -127,6 +155,37 @@ class DiskQueryEngine:
             state_file_bytes=state_file_bytes,
             selected_counts=counts,
         )
+
+    # ------------------------------------------------------------------ #
+    # The vectorised kernel (optional; answers and counters identical)
+    # ------------------------------------------------------------------ #
+
+    def _kernel_runner(self, database: ArbDatabase, plan):
+        # Imported lazily: repro.plan imports this module at package import.
+        from repro.plan import kernel as kernel_mod
+
+        target = plan if plan is not None and plan.evaluator is self.core else _PlanView(self)
+        return kernel_mod.batch_kernel(
+            [target], database, None, choice=self.kernel,
+            phase1_error="phase 1 did not consume the database consistently",
+        )
+
+    def _run_phase1_kernel(self, runner, state_path: str, io: IOStatistics) -> int:
+        started = time.perf_counter()
+        depth = runner.run_phase1(state_path, _STATE_STRUCT, io, io)
+        self.core.stats.bu_seconds += time.perf_counter() - started
+        self.core.stats.bu_states = self.core.n_bottom_up_states
+        return depth
+
+    def _run_phase2_kernel(
+        self, runner, state_path: str, io: IOStatistics
+    ) -> tuple[dict[str, list[int]], dict[str, int], int]:
+        started = time.perf_counter()
+        selected, counts, depth = runner.run_phase2(
+            state_path, _STATE_STRUCT, io, io, self.collect_selected_nodes
+        )
+        self.core.stats.td_seconds += time.perf_counter() - started
+        return selected[0], counts[0], depth
 
     # ------------------------------------------------------------------ #
     # Phase 1: backward scan, write state file

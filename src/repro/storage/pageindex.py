@@ -39,11 +39,14 @@ from __future__ import annotations
 
 import os
 import struct
+import threading
 import zlib
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.core.two_phase import BOTTOM
+from repro.storage.generations import logical_base_of
 from repro.storage.labels import CHARACTER_INDEX_LIMIT, LabelTable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -334,7 +337,15 @@ def load_page_index(path: str) -> PageIndex | None:
 # Per-generation cache (same fingerprint discipline as the buffer pool)
 # ---------------------------------------------------------------------- #
 
-_INDEX_CACHE: dict[str, tuple[tuple, PageIndex | None]] = {}
+#: Decoded-sidecar cache: ``abspath(idx) -> (logical_base, fingerprint,
+#: index | None)``, LRU-bounded and guarded by :data:`_INDEX_CACHE_LOCK`.
+#: Thread executors load indexes concurrently and a long-lived collection
+#: sees a fresh generation path per update, so the cache must be both
+#: race-free and bounded: inserts evict superseded generations of the same
+#: logical document first, then fall back to plain LRU eviction.
+_INDEX_CACHE: "OrderedDict[str, tuple[str, tuple, PageIndex | None]]" = OrderedDict()
+_INDEX_CACHE_LOCK = threading.Lock()
+_INDEX_CACHE_CAP = 128
 
 
 def index_for(database: "ArbDatabase") -> PageIndex | None:
@@ -347,12 +358,28 @@ def index_for(database: "ArbDatabase") -> PageIndex | None:
         return None
     key = os.path.abspath(path)
     fingerprint = (stat.st_size, stat.st_mtime_ns, database.change_counter)
-    cached = _INDEX_CACHE.get(key)
-    if cached is not None and cached[0] == fingerprint:
-        index = cached[1]
-    else:
-        index = load_page_index(path)
-        _INDEX_CACHE[key] = (fingerprint, index)
+    with _INDEX_CACHE_LOCK:
+        cached = _INDEX_CACHE.get(key)
+        if cached is not None and cached[1] == fingerprint:
+            _INDEX_CACHE.move_to_end(key)
+            index = cached[2]
+        else:
+            index = False  # sentinel: load outside the lock
+    if index is False:
+        loaded = load_page_index(path)
+        logical = os.path.abspath(logical_base_of(path))
+        with _INDEX_CACHE_LOCK:
+            # A concurrent loader may have raced us here; last write wins,
+            # both computed the same fingerprint's decoding.
+            _INDEX_CACHE[key] = (logical, fingerprint, loaded)
+            _INDEX_CACHE.move_to_end(key)
+            # Evict superseded generations of the same logical document.
+            stale = [k for k, v in _INDEX_CACHE.items() if k != key and v[0] == logical]
+            for k in stale:
+                del _INDEX_CACHE[k]
+            while len(_INDEX_CACHE) > _INDEX_CACHE_CAP:
+                _INDEX_CACHE.popitem(last=False)
+        index = loaded
     if index is None:
         return None
     if (
@@ -366,10 +393,11 @@ def index_for(database: "ArbDatabase") -> PageIndex | None:
 
 def invalidate_index_cache(base_path: str | None = None) -> None:
     """Drop cached sidecars (one generation's, or all)."""
-    if base_path is None:
-        _INDEX_CACHE.clear()
-    else:
-        _INDEX_CACHE.pop(os.path.abspath(index_path_of(base_path)), None)
+    with _INDEX_CACHE_LOCK:
+        if base_path is None:
+            _INDEX_CACHE.clear()
+        else:
+            _INDEX_CACHE.pop(os.path.abspath(index_path_of(base_path)), None)
 
 
 # ---------------------------------------------------------------------- #
@@ -403,11 +431,16 @@ def neutral_state(plan: "QueryPlan") -> int | None:
     (:meth:`~repro.tree.model.NodeSchema.neutral_label_set`).  If the leaf
     state is a fixed point of all three child shapes, *every* node of a
     self-contained neutral region lands in it; otherwise the plan cannot
-    skip and ``None`` is returned.  The result is cached on the plan.
+    skip and ``None`` is returned.  The result is memoised per plan in the
+    lock-guarded :mod:`repro.plan.memo` side table (plans are shared across
+    threads by the plan cache, so nothing is stashed on the plan itself).
     """
-    cached = getattr(plan, "_neutral_state_memo", False)
-    if cached is not False:
-        return cached
+    from repro.plan.memo import memo_for
+
+    return memo_for(plan).neutral_state(lambda: _neutral_state_uncached(plan))
+
+
+def _neutral_state_uncached(plan: "QueryPlan") -> int | None:
     evaluator = plan.evaluator
     schema = evaluator.prop.schema
     compute = evaluator.compute_reachable_states
@@ -416,18 +449,13 @@ def neutral_state(plan: "QueryPlan") -> int | None:
         return schema.neutral_label_set(is_root=False, has_first_child=has_first, has_second_child=has_second)
 
     leaf = compute(BOTTOM, BOTTOM, labels_for(False, False))
-    result: int | None = leaf
     if (
         compute(leaf, BOTTOM, labels_for(True, False)) != leaf
         or compute(BOTTOM, leaf, labels_for(False, True)) != leaf
         or compute(leaf, leaf, labels_for(True, True)) != leaf
     ):
-        result = None
-    try:
-        plan._neutral_state_memo = result
-    except AttributeError:  # pragma: no cover - exotic plan objects
-        pass
-    return result
+        return None
+    return leaf
 
 
 #: Bound on the per-plan top-down closure explored before giving up on a
@@ -440,20 +468,15 @@ def region_answer_free(plan: "QueryPlan", root_preds: frozenset, s_star: int) ->
 
     Closes ``root_preds`` under both top-down child transitions with the
     neutral state ``s*``; the subtree is answer-free iff no reachable
-    predicate set contains a query predicate.  Memoised per plan and
-    bounded: an oversized closure conservatively reports ``False``.
+    predicate set contains a query predicate.  Memoised per plan in the
+    lock-guarded, bounded :mod:`repro.plan.memo` side table; an oversized
+    closure conservatively reports ``False``.
     """
-    memo = getattr(plan, "_answer_free_memo", None)
-    if memo is None:
-        memo = {}
-        try:
-            plan._answer_free_memo = memo
-        except AttributeError:  # pragma: no cover - exotic plan objects
-            return _region_answer_free_uncached(plan, root_preds, s_star)
-    cached = memo.get(root_preds)
-    if cached is None:
-        cached = memo[root_preds] = _region_answer_free_uncached(plan, root_preds, s_star)
-    return cached
+    from repro.plan.memo import memo_for
+
+    return memo_for(plan).answer_free(
+        root_preds, lambda: _region_answer_free_uncached(plan, root_preds, s_star)
+    )
 
 
 def _region_answer_free_uncached(plan: "QueryPlan", root_preds: frozenset, s_star: int) -> bool:

@@ -428,6 +428,37 @@ class PagedReader:
                 yield from reversed(values)
 
     # ------------------------------------------------------------------ #
+    # Page-at-a-time record spans (the vectorised-kernel read path)
+    # ------------------------------------------------------------------ #
+
+    def spans_forward(self, record_size: int, offset: int = 0, count: int | None = None):
+        """Yield ``(view, start, n_records)`` record spans in forward order.
+
+        The bulk-decode analogue of :meth:`records_forward`: each span is a
+        run of ``n_records`` contiguous records beginning at byte ``start``
+        of ``view``, ready for one C-level decode (``struct.iter_unpack`` or
+        ``numpy.frombuffer``) instead of per-record slicing.  Records that
+        straddle a page boundary arrive assembled as ``(None, bytes, 1)``.
+        I/O accounting is identical to the record streams: one seek per
+        scan, every page counted exactly once when fetched.
+        """
+        total = self._forward_total(record_size, offset, count)
+        self.stats.seeks += 1
+        yield from self._walk_forward(record_size, offset, total)
+
+    def spans_backward(self, record_size: int, count: int | None = None):
+        """Yield ``(view, start, n_records)`` record spans in backward order.
+
+        Spans arrive in descending page order and each span's records must
+        be consumed from its high end downwards (the records *within* a
+        span are stored ascending).  Accounting matches
+        :meth:`records_backward` exactly.
+        """
+        total, usable = self._backward_total(record_size, count)
+        self.stats.seeks += 1
+        yield from self._walk_backward(record_size, total, usable)
+
+    # ------------------------------------------------------------------ #
     # The shared page walks
     # ------------------------------------------------------------------ #
 
@@ -686,6 +717,24 @@ class RangedScan:
                     end = span_start + n * record_size
                     for position in range(span_start, end, record_size):
                         yield view[position:position + record_size]
+
+    def spans_range(self, record_size: int, start: int, count: int):
+        """Record spans of one range, in the scan direction.
+
+        The bulk-decode analogue of :meth:`records_range`: yields the same
+        ``(view, start, n_records)`` spans as
+        :meth:`PagedReader.spans_forward` / :meth:`~PagedReader.spans_backward`
+        but through the scan's shared page source, so the multi-range seek
+        and page accounting is preserved exactly.
+        """
+        if self._backward:
+            yield from self._reader._walk_backward(
+                record_size, count, (start + count) * record_size, _fetch=self._fetch
+            )
+        else:
+            yield from self._reader._walk_forward(
+                record_size, start * record_size, count, _fetch=self._fetch
+            )
 
     def close(self) -> None:
         if self._source is not None:

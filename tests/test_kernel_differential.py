@@ -1,0 +1,324 @@
+"""Differential properties of the vectorised lockstep kernel.
+
+The numpy kernel (:mod:`repro.plan.kernel`) is a pure accelerator: for any
+database and any query batch it must produce exactly what the pure-Python
+lockstep loop produces -- the same selected nodes, the same evaluation
+statistics (transition and state counts; wall-clock excepted) and the same
+I/O counters, byte for byte.  These properties are enforced the way
+buffered==mmap and indexed==full-scan are enforced elsewhere:
+
+* **random documents and batches** -- cold and warm plan caches, with and
+  without the page-skipping sidecar;
+* **post-update generations** -- the spliced `.arb` of a relabel/insert/
+  delete round evaluates identically on both kernels;
+* **odd geometries** -- single-record files, pages that do not divide the
+  record size (records straddling page boundaries), wide and deep trees;
+* **fallback honesty** -- unmemoised plans and ``kernel="python"`` skip the
+  kernel outright, and kernel selection follows ``REPRO_KERNEL``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.automata import StateInterner
+from repro.engine import Database
+from repro.errors import EvaluationError
+from repro.plan.cache import PlanCache
+from repro.plan.kernel import (
+    KERNEL_CHOICES,
+    KERNEL_ENV,
+    batch_kernel,
+    numpy_available,
+    resolve_kernel,
+)
+from repro.storage.update import DeleteSubtree, InsertSubtree, Relabel
+from tests.strategies import tmnf_programs as programs
+
+COMMON_SETTINGS = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+#: Small pages so even hypothesis-sized documents span several of them.
+PAGE_SIZE = 512
+
+requires_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy is not installed")
+
+#: Tags outside the program strategy's ``a``/``b`` alphabet: sections made
+#: of these give the sidecar index skippable page runs, so the kernel's
+#: per-segment path (including star regions) is exercised, not just full scans.
+_NOISE_TAGS = ("n0", "n1", "n2", "n3")
+
+#: Statistics fields that legitimately differ between implementations.
+_TIMING_FIELDS = ("bu_seconds", "td_seconds", "memory_estimate_kb")
+
+
+@st.composite
+def sectioned_documents(draw) -> str:
+    """XML documents made of sections, some of them index-skippable noise."""
+    sections = draw(
+        st.lists(
+            st.tuples(
+                st.booleans(),  # does the section use program-relevant labels?
+                st.integers(min_value=1, max_value=40),
+                st.integers(min_value=0, max_value=len(_NOISE_TAGS) - 1),
+            ),
+            min_size=1,
+            max_size=10,
+        )
+    )
+    parts = []
+    for relevant, size, tag in sections:
+        wrap = "b" if relevant else _NOISE_TAGS[tag]
+        leaf = "a" if relevant else _NOISE_TAGS[(tag + 1) % len(_NOISE_TAGS)]
+        parts.append(f"<{wrap}>" + f"<{leaf}/>" * size + f"</{wrap}>")
+    return "<r>" + "".join(parts) + "</r>"
+
+
+def _build(document: str, directory: str, page_size: int = PAGE_SIZE) -> Database:
+    database = Database.build(document, f"{directory}/doc", page_size=page_size)
+    database.plan_cache = PlanCache()
+    return database
+
+
+def _stats_key(statistics) -> dict:
+    payload = dataclasses.asdict(statistics)
+    for name in _TIMING_FIELDS:
+        payload.pop(name, None)
+    return payload
+
+
+def _batch_key(batch) -> dict:
+    """Everything of a :class:`BatchQueryResult` that must not depend on the kernel."""
+    return {
+        "answers": [
+            {pred: sorted(nodes) for pred, nodes in result.selected.items()}
+            for result in batch.results
+        ],
+        "counts": [dict(result.counts) for result in batch.results],
+        "per_query_stats": [_stats_key(result.statistics) for result in batch.results],
+        "arb_io": dataclasses.asdict(batch.arb_io),
+        "state_io": dataclasses.asdict(batch.state_io),
+        "state_file_bytes": batch.state_file_bytes,
+        "backend": batch.backend,
+    }
+
+
+def _run_batch(database: Database, batch, kernel: str, use_index: bool):
+    """Cold then warm evaluation on a private plan cache."""
+    database.plan_cache = PlanCache()
+    cold = database.query_many(batch, kernel=kernel, use_index=use_index)
+    warm = database.query_many(batch, kernel=kernel, use_index=use_index)
+    return _batch_key(cold), _batch_key(warm)
+
+
+def _differential(database: Database, batch, use_index: bool = True) -> None:
+    numpy_cold, numpy_warm = _run_batch(database, batch, "numpy", use_index)
+    python_cold, python_warm = _run_batch(database, batch, "python", use_index)
+    assert numpy_cold == python_cold
+    assert numpy_warm == python_warm
+
+
+# ---------------------------------------------------------------------- #
+# Random documents and batches
+# ---------------------------------------------------------------------- #
+
+
+@requires_numpy
+@given(
+    document=sectioned_documents(),
+    batch=st.lists(programs(), min_size=1, max_size=3),
+)
+@settings(max_examples=15, **COMMON_SETTINGS)
+def test_kernel_matches_python_on_random_batches(document, batch):
+    with tempfile.TemporaryDirectory() as directory:
+        database = _build(document, directory)
+        _differential(database, batch, use_index=True)
+        _differential(database, batch, use_index=False)
+
+
+@requires_numpy
+@given(
+    document=sectioned_documents(),
+    batch=st.lists(programs(), min_size=1, max_size=2),
+    data=st.data(),
+)
+@settings(max_examples=10, **COMMON_SETTINGS)
+def test_kernel_matches_python_after_updates(document, batch, data):
+    """Spliced generations (new `.arb`, new sidecar) evaluate identically."""
+    with tempfile.TemporaryDirectory() as directory:
+        database = _build(document, directory)
+        n = database.n_nodes
+        edits = [
+            Relabel(
+                data.draw(st.integers(0, n - 1), label="relabel node"),
+                data.draw(st.sampled_from(("a", "b") + _NOISE_TAGS), label="label"),
+            ),
+            InsertSubtree(0, "<b><a/><n2/></b>", position=0),
+        ]
+        if n > 1:
+            edits.append(DeleteSubtree(data.draw(st.integers(1, n - 1), label="delete")))
+        database.apply(edits)
+        assert database.generation > 0
+        _differential(database, batch)
+
+
+# ---------------------------------------------------------------------- #
+# Odd geometries
+# ---------------------------------------------------------------------- #
+
+_DEEP_DOC = "<a>" * 40 + "<b/>" + "</a>" * 40
+_WIDE_DOC = "<r>" + "<a/><b/>" * 120 + "</r>"
+
+_GEOMETRY_CASES = [
+    # (document, page_size) -- page 7 does not divide the record size, so
+    # records straddle every page boundary; 4096 puts a whole file in one page.
+    ("<a/>", 4096),
+    ("<a/>", 7),
+    (_DEEP_DOC, 7),
+    (_DEEP_DOC, 64),
+    (_WIDE_DOC, 7),
+    (_WIDE_DOC, 4096),
+]
+
+_FIXED_BATCH = [
+    "QUERY :- V.Label[a];",
+    "QUERY :- V.Root;",
+    "QUERY :- V.-HasFirstChild;",
+]
+
+
+@requires_numpy
+@pytest.mark.parametrize("document,page_size", _GEOMETRY_CASES)
+def test_kernel_matches_python_on_odd_geometries(tmp_path, document, page_size):
+    database = _build(document, str(tmp_path), page_size=page_size)
+    _differential(database, _FIXED_BATCH, use_index=True)
+    _differential(database, _FIXED_BATCH, use_index=False)
+
+
+@requires_numpy
+def test_kernel_counts_survive_dropping_selected_nodes(tmp_path):
+    database = _build(_WIDE_DOC, str(tmp_path))
+    full = database.query_many(_FIXED_BATCH, kernel="numpy")
+    bare = database.query_many(_FIXED_BATCH, kernel="numpy", collect_selected_nodes=False)
+    assert [r.counts for r in bare.results] == [r.counts for r in full.results]
+    assert all(nodes == [] for r in bare.results for nodes in r.selected.values())
+
+
+# ---------------------------------------------------------------------- #
+# Single-query disk engine
+# ---------------------------------------------------------------------- #
+
+
+def _single_key(result) -> dict:
+    return {
+        "answers": {pred: sorted(nodes) for pred, nodes in result.selected.items()},
+        "counts": dict(result.counts),
+        "stats": _stats_key(result.statistics),
+        "io": dataclasses.asdict(result.io),
+        "backend": result.backend,
+    }
+
+
+@requires_numpy
+@given(document=sectioned_documents(), program=programs())
+@settings(max_examples=10, **COMMON_SETTINGS)
+def test_single_disk_query_matches_python(document, program):
+    with tempfile.TemporaryDirectory() as directory:
+        database = _build(document, directory)
+        database.plan_cache = PlanCache()
+        by_numpy = _single_key(database.query(program, engine="disk", kernel="numpy"))
+        database.plan_cache = PlanCache()
+        by_python = _single_key(database.query(program, engine="disk", kernel="python"))
+        assert by_numpy == by_python
+
+
+# ---------------------------------------------------------------------- #
+# Fallback honesty and kernel selection
+# ---------------------------------------------------------------------- #
+
+
+def _plans(database: Database, queries, **kwargs):
+    return [database.plan(query, **kwargs)[0] for query in queries]
+
+
+@requires_numpy
+def test_forced_numpy_kernel_is_actually_used(tmp_path):
+    database = _build(_WIDE_DOC, str(tmp_path))
+    plans = _plans(database, _FIXED_BATCH)
+    assert batch_kernel(plans, database.disk, None, choice="numpy") is not None
+    assert batch_kernel(plans, database.disk, None, choice="python") is None
+
+
+@requires_numpy
+def test_unmemoised_plans_fall_back_to_python(tmp_path):
+    database = _build(_WIDE_DOC, str(tmp_path))
+    plans = _plans(database, _FIXED_BATCH, memoize=False)
+    assert batch_kernel(plans, database.disk, None, choice="numpy") is None
+    # The fallback still answers identically (both runs take the pure path).
+    for kernel in ("numpy", "python"):
+        database.plan_cache = PlanCache()
+        result = database.query_many(_FIXED_BATCH, memoize=False, kernel=kernel)
+        baseline = database.query_many(_FIXED_BATCH, memoize=True, kernel="python")
+        assert _batch_key(result)["answers"] == _batch_key(baseline)["answers"]
+
+
+def test_resolve_kernel_choices(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV, raising=False)
+    assert resolve_kernel("python") == "python"
+    expected_auto = "numpy" if numpy_available() else "python"
+    for choice in (None, "", "auto"):
+        assert resolve_kernel(choice) == expected_auto
+    with pytest.raises(EvaluationError):
+        resolve_kernel("fortran")
+
+    monkeypatch.setenv(KERNEL_ENV, "python")
+    assert resolve_kernel(None) == "python"
+    assert resolve_kernel("auto") == "python"
+    # An explicit per-call choice wins over the environment.
+    assert resolve_kernel("python") == "python"
+
+    monkeypatch.setenv(KERNEL_ENV, "AUTO")
+    assert resolve_kernel(None) == expected_auto
+
+
+@requires_numpy
+def test_environment_selects_kernel_end_to_end(tmp_path, monkeypatch):
+    database = _build(_WIDE_DOC, str(tmp_path))
+    plans = _plans(database, _FIXED_BATCH)
+    monkeypatch.setenv(KERNEL_ENV, "python")
+    assert batch_kernel(plans, database.disk, None) is None
+    monkeypatch.setenv(KERNEL_ENV, "numpy")
+    assert batch_kernel(plans, database.disk, None) is not None
+
+
+def test_kernel_choices_are_the_documented_set():
+    assert KERNEL_CHOICES == ("auto", "numpy", "python")
+
+
+def test_invalid_kernel_raises_from_the_query_api(tmp_path):
+    database = _build("<a/>", str(tmp_path))
+    with pytest.raises(EvaluationError):
+        database.query_many(["QUERY :- V.Root;"], kernel="fortran")
+
+
+# ---------------------------------------------------------------------- #
+# StateInterner
+# ---------------------------------------------------------------------- #
+
+
+def test_state_interner_assigns_dense_stable_ids():
+    interner = StateInterner([("bottom",)])
+    assert interner.intern(("bottom",)) == 0
+    first = interner.intern(frozenset({"X0"}))
+    second = interner.intern(frozenset({"X1"}))
+    assert (first, second) == (1, 2)
+    assert interner.intern(frozenset({"X0"})) == first
+    assert interner.get(frozenset({"X1"})) == second
+    assert interner.get("never seen") is None
+    assert len(interner) == 3
+    assert interner[first] == frozenset({"X0"})
+    assert interner.values == [("bottom",), frozenset({"X0"}), frozenset({"X1"})]
