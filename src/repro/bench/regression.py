@@ -79,6 +79,12 @@ ACGT_EXPONENT = 16
 #: deterministic.
 UPDATE_ROUNDS = 20
 
+#: Operations committed as one group by the group-commit benchmark.  The
+#: in-process assert below holds the ISSUE's durability budget: however
+#: many operations ride one group, the group costs at most 2 data fsyncs
+#: (WAL append + final `.arb`), 1 pointer swap and 1 WAL append.
+GROUP_OPS = 16
+
 #: Selectivity sweep: one synthetic document of distinct-tag sections on a
 #: small page grid, queried by batches touching 1, 10 or all sections.
 SELECTIVITY_SECTIONS = 100
@@ -202,6 +208,7 @@ def run_benchmarks(
             # the run outright if the two modes ever disagree on a counter.
             _assert_modes_agree(block, per_mode_io)
         _update_benchmarks(tmp, entries, repeats, treebank_nodes, acgt_exponent)
+        _group_commit_benchmark(tmp, entries, treebank_nodes, acgt_exponent)
         _selectivity_benchmarks(tmp, entries, repeats)
     return payload
 
@@ -268,6 +275,82 @@ def _update_benchmarks(
                 selected=sum(result.count() for result in batch.results),
             )
         )
+
+
+def _group_commit_benchmark(
+    tmp: str, entries: list, treebank_nodes: int, acgt_exponent: int
+) -> None:
+    """One :data:`GROUP_OPS`-operation group commit, gated three ways.
+
+    The splice I/O counters land in the JSON entry and are exact-gated
+    against the baseline; on top of that two properties are asserted
+    in-process on every run, so a regression fails the benchmark job even
+    before the baseline diff:
+
+    * the **durability budget** -- the whole group costs at most 2 data
+      fsyncs (the WAL append and the final `.arb`), exactly 1 pointer swap
+      and exactly 1 WAL append, however many operations ride in it;
+    * **byte identity** -- the group's final `.arb` equals the one the same
+      operations produce applied one commit at a time.
+
+    Wall clock is telemetry only (``updates_per_sec``): like
+    ``update-relabel`` the benchmark is fsync-bound, so gating it would be
+    pure flake on shared CI disks.
+    """
+    from repro.storage.durability import durability
+    from repro.storage.generations import generation_base
+    from repro.storage.update import apply_many
+
+    tree = load_block_tree(
+        "treebank", treebank_nodes=treebank_nodes, acgt_exponent=acgt_exponent
+    )
+    unranked = tree.to_unranked()
+    grouped = os.path.join(tmp, "treebank-grouped")
+    sequential = os.path.join(tmp, "treebank-sequential")
+    build_database(unranked, grouped)
+    build_database(unranked, sequential)
+    labels = BLOCK_QUERIES["treebank"]
+    ops = [Relabel(i + 1, labels[i % len(labels)]) for i in range(GROUP_OPS)]
+
+    before = durability.snapshot()
+    started = time.perf_counter()
+    result = apply_many(grouped, ops)
+    wall = time.perf_counter() - started
+    delta = durability.since(before)
+    if (delta.data_fsyncs > 2 or delta.pointer_swaps != 1
+            or delta.wal_appends != 1):
+        raise AssertionError(
+            f"update-group-commit: {GROUP_OPS} ops cost {delta.data_fsyncs} "
+            f"data fsyncs, {delta.pointer_swaps} pointer swaps, "
+            f"{delta.wal_appends} WAL appends (budget: <= 2 data fsyncs, "
+            f"1 swap, 1 append per group)"
+        )
+
+    for op in ops:
+        apply_update(sequential, op)
+    with open(generation_base(grouped, result.new_generation) + ".arb", "rb") as handle:
+        group_bytes = handle.read()
+    with open(generation_base(sequential, result.new_generation) + ".arb", "rb") as handle:
+        sequential_bytes = handle.read()
+    if group_bytes != sequential_bytes:
+        raise AssertionError(
+            "update-group-commit: the group's .arb differs from the same "
+            "operations applied one commit at a time"
+        )
+
+    entries.append(
+        _entry(
+            "update-group-commit/treebank",
+            wall,
+            result.statistics.io,
+            updates=GROUP_OPS,
+            updates_per_sec=round(GROUP_OPS / wall, 1),
+            data_fsyncs=delta.data_fsyncs,
+            pointer_swaps=delta.pointer_swaps,
+            wal_appends=delta.wal_appends,
+            wall_gated=False,
+        )
+    )
 
 
 def _selectivity_benchmarks(tmp: str, entries: list, repeats: int) -> None:

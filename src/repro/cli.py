@@ -24,12 +24,14 @@ Subcommands
     Print the stored metadata of an `.arb` database, including its current
     generation and the generations still on disk.
 
-``arb update DATABASE (--relabel NODE LABEL | --delete NODE | --insert PARENT XML)``
+``arb update DATABASE (--relabel NODE LABEL | --delete NODE | --insert PARENT XML | --group FILE)``
     Apply one copy-on-write update: a new `.arb` generation is spliced from
     the current one beside it and the generation pointer is swapped
     atomically, so concurrent readers keep their snapshot.  ``--at`` picks
     the child position for ``--insert`` (default: append); ``--retain N``
-    prunes all but the newest N generations afterwards.
+    prunes all but the newest N generations afterwards.  ``--group FILE``
+    reads one JSON update spec per line and commits them all as **one**
+    group (one WAL append, one new generation, one fsync pair), atomically.
 
 ``arb collection build ROOT XML [XML ...]``
     Create (or extend) a document collection at ``ROOT``: one `.arb`
@@ -49,7 +51,9 @@ Subcommands
     file, or a collection root) on a TCP port, speaking one JSON object per
     line.  Concurrent requests arriving within ``--window`` seconds coalesce
     into one scan pair per document, whatever their number; ``--max-pending``
-    bounds the queue (admission control with backpressure).
+    bounds the queue (admission control with backpressure).  With
+    ``--write-window`` the same happens to updates: concurrent update
+    requests commit as one group with a single WAL append and fsync pair.
 
 ``arb client (-q PROGRAM | -x XPATH) [--repeat N]``
     Send queries to a running ``arb serve`` in one concurrent burst (so they
@@ -126,6 +130,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="give node NODE the label LABEL")
     ugroup.add_argument("--delete", type=int, metavar="NODE",
                         help="delete node NODE and its whole subtree")
+    ugroup.add_argument("--group", metavar="FILE",
+                        help="apply every JSON update spec in FILE (one per "
+                             "line, '-' for stdin) as a single group commit")
     ugroup.add_argument("--insert", nargs=2, metavar=("PARENT", "XML"),
                         help="insert an XML fragment (inline or a file path) "
                              "as a child of node PARENT")
@@ -198,6 +205,11 @@ def build_parser() -> argparse.ArgumentParser:
                             "one scan pair (default: 0.005)")
     serve.add_argument("--max-batch", type=int, default=64, metavar="K",
                        help="largest number of requests per shared batch")
+    serve.add_argument("--write-window", type=float, default=0.0, metavar="SECONDS",
+                       help="group-commit window for updates (0 = every update "
+                            "commits on its own)")
+    serve.add_argument("--max-write-batch", type=int, default=16, metavar="K",
+                       help="cap on updates per group commit")
     serve.add_argument("--max-pending", type=int, default=1024, metavar="N",
                        help="queue depth limit; further requests are rejected")
     serve.add_argument("--workers", type=int, default=1, metavar="N",
@@ -414,6 +426,8 @@ def _command_serve(args: argparse.Namespace) -> int:
                 window=args.window,
                 max_batch=args.max_batch,
                 max_pending=args.max_pending,
+                write_window=args.write_window,
+                max_write_batch=args.max_write_batch,
                 n_workers=args.workers,
                 executor=args.executor,
                 pager_mode=args.pager,
@@ -516,9 +530,35 @@ def _parse_node_id(text: str, what: str) -> int:
         raise ReproError(f"{what} must be a node id (an integer), got {text!r}") from None
 
 
+def _command_update_group(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.storage.update import apply_many, op_from_spec
+
+    if args.group == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(args.group, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    ops = [op_from_spec(json.loads(line)) for line in lines if line.strip()]
+    if not ops:
+        raise ReproError(f"--group file holds no update specs: {args.group}")
+    result = apply_many(args.database, ops, retain_generations=args.retain)
+    stats = result.statistics
+    print(f"group commit    : {result.n_ops} operations in one generation")
+    print(f"generation      : {result.old_generation} -> {result.new_generation} "
+          f"(change counter {result.counter})")
+    print(f"nodes           : {result.n_nodes} "
+          f"({result.element_nodes} element, {result.char_nodes} char)")
+    print(f"wall time       : {stats.seconds:.4f}s")
+    return 0
+
+
 def _command_update(args: argparse.Namespace) -> int:
     from repro.storage.update import DeleteSubtree, InsertSubtree, Relabel, apply_update
 
+    if args.group is not None:
+        return _command_update_group(args)
     if args.relabel is not None:
         node_text, label = args.relabel
         update = Relabel(_parse_node_id(node_text, "--relabel NODE"), label,

@@ -234,6 +234,50 @@ class Collection:
                     self.manifest.save(self.root)
             return results if sequence else results[0]
 
+    def apply_many(self, doc_id: str, ops: Sequence, *,
+                   retain_generations: int | None = None):
+        """Apply ``ops`` to one document as a single group commit.
+
+        Unlike :meth:`apply` with a sequence -- which splices one generation
+        *per operation* and rewrites the manifest after each -- the whole
+        group lands as **one** spliced generation (see
+        :func:`repro.storage.update.apply_many`): one WAL append, one data
+        fsync on the final `.arb`, one pointer swap, one manifest save.  The
+        group is atomic: either every operation is reflected in the new
+        generation or the document (and the manifest) stays untouched.
+        Returns the :class:`~repro.storage.update.GroupCommitResult`.
+        """
+        from repro.collection.manifest import DocumentEntry as _Entry
+        from repro.storage.generations import exclusive_writer
+        from repro.storage.update import apply_many
+
+        with self._apply_lock, exclusive_writer(os.path.join(self.root, "collection")):
+            self._adopt_saved_generations()
+            entry = self.manifest.get(doc_id)
+            base_path = entry.base_path(self.root)
+            result = apply_many(
+                base_path,
+                list(ops),
+                retain_generations=retain_generations,
+                expected_generation=entry.generation,
+                expected_counter=entry.counter or None,
+            )
+            self.manifest.replace(
+                _Entry(
+                    doc_id=doc_id,
+                    base=entry.base,
+                    n_nodes=result.n_nodes,
+                    element_nodes=result.element_nodes,
+                    char_nodes=result.char_nodes,
+                    n_tags=result.n_tags,
+                    arb_bytes=result.arb_bytes,
+                    generation=result.new_generation,
+                    counter=result.counter,
+                )
+            )
+            self.manifest.save(self.root)
+            return result
+
     def _adopt_saved_generations(self) -> None:
         """Merge newer per-document generations from the saved manifest."""
         try:

@@ -23,6 +23,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Iterator
 
 from repro.errors import StorageError
+from repro.storage.generations import atomic_write_text
 
 __all__ = ["DocumentEntry", "CollectionManifest", "MANIFEST_NAME", "MANIFEST_VERSION"]
 
@@ -141,18 +142,26 @@ class CollectionManifest:
     # ------------------------------------------------------------------ #
 
     def save(self, root: str) -> str:
-        """Write the manifest to ``<root>/collection.json`` atomically."""
+        """Write the manifest to ``<root>/collection.json`` atomically.
+
+        Atomically *and durably*: ``os.replace`` alone only protects
+        concurrent readers -- without the temp-file fsync (and the directory
+        fsync after the rename) a crash can commit document-generation
+        pointers while the manifest that names those documents comes back
+        empty or torn.  :func:`~repro.storage.generations.atomic_write_text`
+        is the same protocol the generation pointer itself uses; the
+        ``"manifest-tmp"`` fault point lets the crash suite kill the process
+        between the durable temp file and the rename.
+        """
         path = os.path.join(root, MANIFEST_NAME)
         payload = {
             "version": self.version,
             "name": self.name,
             "documents": [asdict(entry) for entry in self._entries.values()],
         }
-        temp_path = path + ".tmp"
-        with open(temp_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2)
-        os.replace(temp_path, path)
-        return path
+        return atomic_write_text(
+            path, json.dumps(payload, indent=2), fault_name="manifest-tmp"
+        )
 
     @classmethod
     def load(cls, root: str) -> "CollectionManifest":

@@ -289,6 +289,36 @@ class Database:
             self.refresh()
         return result
 
+    def apply_many(self, ops, *, retain_generations: int | None = None):
+        """Commit a sequence of updates as **one group**; see
+        :func:`repro.storage.update.apply_many`.
+
+        Same sequential semantics as ``apply([op1, op2, ...])`` -- each
+        operation addresses the state its predecessor produced -- but the
+        whole group lands as a single generation behind one pointer swap
+        and two data fsyncs, whatever its length.  Returns one
+        :class:`~repro.storage.update.GroupCommitResult`.  The same
+        optimistic-concurrency guard applies: the group is refused whole if
+        another writer moved the base since this handle resolved it.
+        """
+        from repro.storage.update import apply_many
+
+        if self._disk is None:
+            raise EvaluationError(
+                "updates apply to on-disk databases; build one with Database.build"
+            )
+        base = self._disk.logical_base_path
+        try:
+            result = apply_many(
+                base, ops, retain_generations=retain_generations,
+                page_size=self._disk.page_size,
+                expected_generation=self._disk.generation,
+                expected_counter=self._disk.change_counter,
+            )
+        finally:
+            self.refresh()
+        return result
+
     # ------------------------------------------------------------------ #
     # Planning
     # ------------------------------------------------------------------ #

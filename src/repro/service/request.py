@@ -96,6 +96,13 @@ class ServiceStats:
     isolation_retries: int = 0
     #: Copy-on-write updates applied through :meth:`QueryService.apply`.
     updates: int = 0
+    #: Write groups committed (each one WAL append + one generation splice,
+    #: however many updates rode in it).  Stays 0 with ``write_window=0``,
+    #: where every update commits on its own.
+    write_batches: int = 0
+    #: Updates that shared their group commit with at least one other update.
+    coalesced_updates: int = 0
+    largest_write_batch: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     #: Total `.arb` I/O, accumulated once per batch (never per request).
@@ -122,6 +129,9 @@ class ServiceStats:
             "mean_batch_size": round(self.mean_batch_size, 3),
             "isolation_retries": self.isolation_retries,
             "updates": self.updates,
+            "write_batches": self.write_batches,
+            "coalesced_updates": self.coalesced_updates,
+            "largest_write_batch": self.largest_write_batch,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_misses": self.plan_cache_misses,
             "arb_pages_read": self.arb_io.pages_read,

@@ -5,6 +5,8 @@ direction.  Requests::
 
     {"id": 7, "query": "QUERY :- V.Label[b];"}
     {"id": 8, "query": "//b", "language": "xpath", "ids": true}
+    {"id": 9, "op": "update", "ops": [{"kind": "relabel", "node": 3,
+     "label": "x"}]}
     {"op": "stats"}
     {"op": "ping"}
 
@@ -17,7 +19,10 @@ Responses echo ``id`` and carry either the answer or a clean error::
 Every request line is handled as its own task, so the many in-flight
 requests of one connection (and of concurrent connections) coalesce into
 shared scan pairs exactly like in-process callers -- the server is a thin
-demultiplexer over one :class:`QueryService`.
+demultiplexer over one :class:`QueryService`.  The same holds for
+``update`` requests when the service runs with a positive write window
+(``arb serve --write-window``): concurrent update lines ride one group
+commit and share its single WAL append / fsync pair.
 """
 
 from __future__ import annotations
@@ -33,6 +38,7 @@ from repro.errors import ReproError, ServiceError
 from repro.service.request import ServiceResponse
 from repro.service.service import QueryService
 from repro.storage.bufferpool import resolve_pager
+from repro.storage.generations import atomic_write_text
 
 __all__ = ["ArbServer", "open_target", "request_many", "serve"]
 
@@ -193,6 +199,8 @@ class ArbServer:
                 "ok": True,
                 "stats": self.service.stats().as_row(),
             }
+        if op == "update":
+            return await self._answer_update(message, request_id)
         if op != "query":
             raise ServiceError(f"unknown op {op!r}")
         query = message.get("query")
@@ -204,6 +212,32 @@ class ArbServer:
             query_predicate=message.get("query_predicate"),
         )
         return _response_payload(request_id, response, ids=bool(message.get("ids")))
+
+    async def _answer_update(self, message: dict, request_id) -> dict:
+        from repro.storage.update import GroupCommitResult, op_from_spec
+
+        specs = message.get("ops")
+        if not isinstance(specs, list) or not specs:
+            raise ServiceError("an update request needs a non-empty 'ops' list")
+        ops = [op_from_spec(spec) for spec in specs]
+        result = await self.service.apply(
+            ops if len(ops) > 1 else ops[0],
+            doc_id=message.get("doc_id"),
+            retain_generations=message.get("retain"),
+        )
+        # The per-update path returns UpdateResult (a list for a sequence);
+        # a coalesced window returns the group's shared GroupCommitResult.
+        last = result[-1] if isinstance(result, list) else result
+        payload = {
+            "id": request_id,
+            "ok": True,
+            "generation": last.new_generation,
+            "counter": last.counter,
+            "n_nodes": last.n_nodes,
+        }
+        if isinstance(last, GroupCommitResult):
+            payload["group_size"] = last.n_ops
+        return payload
 
 
 async def serve(
@@ -218,15 +252,17 @@ async def serve(
 
     ``ready_file``, when given, receives one line ``host port`` once the
     listener is bound -- the hook scripts and tests use to discover an
-    ephemeral port.
+    ephemeral port.  It is written atomically (temp file + rename): an
+    in-place write would let a polling watcher read the file *between*
+    create and write and see it empty, or -- re-announcing after a restart
+    -- see a torn mix of old and new endpoint.
     """
     target = open_target(target_path, pager_mode=service_options.get("pager_mode"))
     server = ArbServer(target, host=host, port=port, **service_options)
     bound_host, bound_port = await server.start()
     print(f"arb serve: listening on {bound_host}:{bound_port}", flush=True)
     if ready_file:
-        with open(ready_file, "w", encoding="utf-8") as handle:
-            handle.write(f"{bound_host} {bound_port}\n")
+        atomic_write_text(ready_file, f"{bound_host} {bound_port}\n")
     try:
         await server.serve_forever()
     except asyncio.CancelledError:  # pragma: no cover - interactive shutdown

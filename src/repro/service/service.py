@@ -63,6 +63,11 @@ DEFAULT_WINDOW = 0.005
 DEFAULT_MAX_BATCH = 64
 #: Default admission-control bound on queued requests.
 DEFAULT_MAX_PENDING = 1024
+#: Default *write* coalescing window: 0 keeps the historical behaviour
+#: (every update commits on its own, with its own fsyncs).
+DEFAULT_WRITE_WINDOW = 0.0
+#: Default cap on how many updates ride one group commit.
+DEFAULT_MAX_WRITE_BATCH = 16
 
 
 @dataclass
@@ -72,6 +77,17 @@ class _Pending:
     request_id: int
     plan: "QueryPlan"
     plan_cache_hit: bool
+    future: asyncio.Future
+    enqueued_at: float
+
+
+@dataclass
+class _PendingWrite:
+    """An update parked on the write-coalescing queue."""
+
+    update: object
+    doc_id: str | None
+    retain_generations: int | None
     future: asyncio.Future
     enqueued_at: float
 
@@ -105,6 +121,8 @@ class QueryService:
         window: float = DEFAULT_WINDOW,
         max_batch: int = DEFAULT_MAX_BATCH,
         max_pending: int = DEFAULT_MAX_PENDING,
+        write_window: float = DEFAULT_WRITE_WINDOW,
+        max_write_batch: int = DEFAULT_MAX_WRITE_BATCH,
         collect_selected_nodes: bool = True,
         temp_dir: str | None = None,
         n_workers: int = 1,
@@ -124,10 +142,16 @@ class QueryService:
             raise ServiceError("max_batch must be at least 1")
         if max_pending < 1:
             raise ServiceError("max_pending must be at least 1")
+        if write_window < 0:
+            raise ServiceError("the write coalescing window cannot be negative")
+        if max_write_batch < 1:
+            raise ServiceError("max_write_batch must be at least 1")
         self.target = target
         self.window = window
         self.max_batch = max_batch
         self.max_pending = max_pending
+        self.write_window = write_window
+        self.max_write_batch = max_write_batch
         self.collect_selected_nodes = collect_selected_nodes
         self.temp_dir = temp_dir
         self.n_workers = n_workers
@@ -144,6 +168,7 @@ class QueryService:
 
         self._stats = ServiceStats()
         self._queue: deque[_Pending] = deque()
+        self._writes: deque[_PendingWrite] = deque()
         #: Requests past admission but still compiling (counted against
         #: max_pending so a compile burst cannot overshoot the queue bound).
         self._reserved = 0
@@ -151,10 +176,13 @@ class QueryService:
         self._accepting = False
         self._loop: asyncio.AbstractEventLoop | None = None
         self._batcher: asyncio.Task | None = None
+        self._write_batcher: asyncio.Task | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._compile_pool: ThreadPoolExecutor | None = None
         self._wakeup: asyncio.Event | None = None
         self._batch_full: asyncio.Event | None = None
+        self._write_wakeup: asyncio.Event | None = None
+        self._write_full: asyncio.Event | None = None
         self._next_request_id = 0
         self._next_batch_id = 0
 
@@ -180,6 +208,12 @@ class QueryService:
         self._running = True
         self._accepting = True
         self._batcher = asyncio.ensure_future(self._run_batcher())
+        if self.write_window > 0:
+            # Writes only queue when a coalescing window is configured; with
+            # the default 0 every update keeps its historical direct path.
+            self._write_wakeup = asyncio.Event()
+            self._write_full = asyncio.Event()
+            self._write_batcher = asyncio.ensure_future(self._run_write_batcher())
         return self
 
     async def stop(self) -> None:
@@ -200,6 +234,11 @@ class QueryService:
         self._batch_full.set()
         await self._batcher
         self._batcher = None
+        if self._write_batcher is not None:
+            self._write_wakeup.set()
+            self._write_full.set()
+            await self._write_batcher
+            self._write_batcher = None
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -312,28 +351,45 @@ class QueryService:
         collection targets (``doc_id`` required) advance the manifest, so
         later coalesced batches pin the new generation per shard.
 
-        Returns the :class:`~repro.storage.update.UpdateResult` (a list
-        for a sequence of operations).
+        With ``write_window=0`` (the default) the update commits on its
+        own and this returns the
+        :class:`~repro.storage.update.UpdateResult` (a list for a sequence
+        of operations) -- the historical behaviour.  With a positive
+        ``write_window`` the update parks on the write-coalescing queue:
+        everything that arrives within the window (up to
+        ``max_write_batch``, and for collections targeting the *same*
+        document) commits as **one** group -- one WAL append, one data
+        fsync, one pointer swap however many writers rode along -- and
+        every rider gets the shared
+        :class:`~repro.storage.update.GroupCommitResult` back.  A group
+        that fails is retried one writer at a time, so only the poisoned
+        update surfaces its error.
         """
         if not self._running:
             raise ServiceClosedError("the query service is not running")
-
-        def _apply():
-            if isinstance(self.target, Collection):
-                if doc_id is None:
-                    raise ServiceError(
-                        "updating a collection target needs doc_id=..."
-                    )
-                return self.target.apply(
-                    doc_id, update, retain_generations=retain_generations
-                )
-            if doc_id is not None:
-                raise ServiceError("doc_id only applies to collection targets")
-            return self.target.apply(update, retain_generations=retain_generations)
-
-        result = await self._loop.run_in_executor(self._pool, _apply)
-        self._stats.updates += 1
-        return result
+        if isinstance(self.target, Collection):
+            if doc_id is None:
+                raise ServiceError("updating a collection target needs doc_id=...")
+        elif doc_id is not None:
+            raise ServiceError("doc_id only applies to collection targets")
+        if self.write_window <= 0:
+            result = await self._loop.run_in_executor(
+                self._pool, self._apply_one, update, doc_id, retain_generations
+            )
+            self._stats.updates += 1
+            return result
+        pending = _PendingWrite(
+            update=update,
+            doc_id=doc_id,
+            retain_generations=retain_generations,
+            future=self._loop.create_future(),
+            enqueued_at=time.perf_counter(),
+        )
+        self._writes.append(pending)
+        self._write_wakeup.set()
+        if len(self._writes) >= self.max_write_batch:
+            self._write_full.set()
+        return await pending.future
 
     def apply_threadsafe(
         self,
@@ -410,6 +466,140 @@ class QueryService:
                         )
                 if isinstance(exc, (KeyboardInterrupt, SystemExit)):
                     raise
+
+    async def _run_write_batcher(self) -> None:
+        """Collect updates arriving within ``write_window`` into group commits.
+
+        Groups execute on the same single evaluation worker as query batches
+        and per-window singleton updates, so writes stay serialised against
+        batch demux exactly like the direct :meth:`apply` path.
+        """
+        assert self._loop is not None
+        while True:
+            if not self._writes:
+                if not self._running:
+                    return
+                self._write_wakeup.clear()
+                await self._write_wakeup.wait()
+                continue
+            if (self.write_window > 0 and self._running
+                    and len(self._writes) < self.max_write_batch):
+                self._write_full.clear()
+                try:
+                    await asyncio.wait_for(
+                        self._write_full.wait(), timeout=self.write_window
+                    )
+                except (asyncio.TimeoutError, TimeoutError):
+                    pass
+            # A group commit splices one base path, so only the longest
+            # same-document prefix rides together; updates to another
+            # document start the next group (FIFO order is preserved).
+            first = self._writes[0]
+            group = [self._writes.popleft()]
+            while (self._writes and len(group) < self.max_write_batch
+                   and self._writes[0].doc_id == first.doc_id):
+                group.append(self._writes.popleft())
+            try:
+                outcomes = await self._loop.run_in_executor(
+                    self._pool, self._apply_group, group
+                )
+                for pending, (result, error) in zip(group, outcomes):
+                    if pending.future.done():  # pragma: no cover - cancelled
+                        continue
+                    if error is not None:
+                        pending.future.set_exception(error)
+                    else:
+                        self._stats.updates += 1
+                        pending.future.set_result(result)
+            except BaseException as exc:  # defensive: never wedge the loop
+                for pending in group:
+                    if not pending.future.done():
+                        pending.future.set_exception(
+                            ServiceError(f"write batch failed: {exc!r}")
+                        )
+                if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                    raise
+
+    def _apply_one(self, update, doc_id, retain_generations):
+        """The per-update commit path (worker thread).
+
+        A caller-supplied *sequence* of operations is already a declared
+        group (the wire ``update`` op sends one), so it always rides the
+        group-commit path -- one generation, one WAL append -- even when
+        no other writer shared its window.
+        """
+        if isinstance(update, (list, tuple)) and len(update) > 1:
+            if isinstance(self.target, Collection):
+                return self.target.apply_many(
+                    doc_id, update, retain_generations=retain_generations
+                )
+            return self.target.apply_many(
+                update, retain_generations=retain_generations
+            )
+        if isinstance(update, (list, tuple)):
+            update = update[0]
+        if isinstance(self.target, Collection):
+            return self.target.apply(
+                doc_id, update, retain_generations=retain_generations
+            )
+        return self.target.apply(update, retain_generations=retain_generations)
+
+    def _apply_group(self, group: list[_PendingWrite]) -> list[tuple]:
+        """Commit one write group (worker thread); per-writer outcomes."""
+        retains = [pending.retain_generations for pending in group]
+        retain = max(retains) if all(r is not None for r in retains) else None
+        if len(group) == 1:
+            # A lone writer in its window keeps the per-update commit path
+            # (and its historical result types).
+            pending = group[0]
+            try:
+                result = self._apply_one(
+                    pending.update, pending.doc_id, pending.retain_generations
+                )
+            except Exception as exc:
+                return [(None, exc)]
+            self._record_write_batch(1)
+            return [(result, None)]
+        ops: list = []
+        for pending in group:
+            if isinstance(pending.update, (list, tuple)):
+                ops.extend(pending.update)
+            else:
+                ops.append(pending.update)
+        try:
+            if isinstance(self.target, Collection):
+                result = self.target.apply_many(
+                    group[0].doc_id, ops, retain_generations=retain
+                )
+            else:
+                result = self.target.apply_many(ops, retain_generations=retain)
+        except Exception:
+            # Fault isolation, mirroring the query batcher: the group is
+            # rejected whole (nothing committed), so re-run one writer at a
+            # time and let only the poisoned update surface its error.
+            self._stats.isolation_retries += 1
+            outcomes = []
+            for pending in group:
+                try:
+                    outcomes.append((
+                        self._apply_one(
+                            pending.update, pending.doc_id,
+                            pending.retain_generations,
+                        ),
+                        None,
+                    ))
+                except Exception as exc:
+                    outcomes.append((None, exc))
+            return outcomes
+        self._record_write_batch(len(group))
+        return [(result, None)] * len(group)
+
+    def _record_write_batch(self, size: int) -> None:
+        stats = self._stats
+        stats.write_batches += 1
+        stats.largest_write_batch = max(stats.largest_write_batch, size)
+        if size > 1:
+            stats.coalesced_updates += size
 
     def _deliver(
         self, batch: list[_Pending], outcomes: list[_Outcome], dequeued_at: float

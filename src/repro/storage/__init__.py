@@ -17,10 +17,12 @@ from repro.storage.records import DEFAULT_RECORD_SIZE, NodeRecord, decode_node, 
 from repro.storage.traversal import ScanResult, scan_bottom_up, scan_top_down
 from repro.storage.update import (
     DeleteSubtree,
+    GroupCommitResult,
     InsertSubtree,
     Relabel,
     UpdateResult,
     UpdateStatistics,
+    apply_many,
     apply_to_tree,
     apply_update,
     apply_updates,
@@ -58,6 +60,8 @@ __all__ = [
     "InsertSubtree",
     "UpdateResult",
     "UpdateStatistics",
+    "GroupCommitResult",
+    "apply_many",
     "apply_update",
     "apply_updates",
     "apply_to_tree",

@@ -25,9 +25,11 @@ from typing import Iterable, Iterator
 
 from repro.errors import StorageError
 from repro.storage.bufferpool import invalidate_default_pool
+from repro.storage.durability import fault_point, fsync_fd
 from repro.storage.generations import (
     GenerationPointer,
     exclusive_writer,
+    fsync_directory,
     list_generations,
     read_pointer,
     remove_generation_files,
@@ -207,11 +209,19 @@ class DatabaseBuilder:
         if stack:
             raise StorageError("event file is not well nested: unmatched end events remain")
 
-        labels.save(lab_path)
+        # Every file the pointer bump will commit to must be durable *first*:
+        # the splice path has always fsynced its generation files before the
+        # swap, and a freshly built database deserves no weaker a story (a
+        # power loss after the bump must never leave a torn `.idx` -- or
+        # worse, a torn `.arb` -- behind a committed pointer).
+        labels.save(lab_path, fsync=True)
         write_page_index(
             index_path_of(base_path),
             summary.finish(FIRST_TAG_INDEX + labels.n_tags),
+            fsync=True,
         )
+        with open(arb_path, "rb") as arb_handle:
+            fsync_fd(arb_handle.fileno())
         stats.evt_file_size = os.path.getsize(evt_path)
         if not self.keep_event_file:
             os.remove(evt_path)
@@ -232,6 +242,8 @@ class DatabaseBuilder:
         with exclusive_writer(base_path):
             counter = read_pointer(base_path).counter + 1
             _write_metadata(base_path, n_nodes, self.record_size, stats, counter=counter)
+            fsync_directory(os.path.dirname(base_path) or ".")
+            fault_point("build-files")
             write_pointer(base_path, GenerationPointer(generation=0, counter=counter))
             # A rebuild starts a fresh document lineage: generation files of
             # the superseded lineage would otherwise linger as bogus
@@ -292,6 +304,7 @@ def _write_metadata(base_path: str, n_nodes: int, record_size: int, stats: Build
         n_tags=stats.n_tags,
         counter=counter,
         generation=0,
+        fsync=True,
     )
 
 

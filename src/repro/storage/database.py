@@ -99,6 +99,11 @@ class ArbDatabase:
         # A name like "snapshot.g2" is only a generation of base "snapshot"
         # if that base actually exists; otherwise it is its own base.
         logical = resolve_logical_base(base_path)
+        # Finish (or discard) any crashed group commit before trusting the
+        # pointer: one stat in the common case, a WAL replay after a crash.
+        from repro.storage import wal
+
+        wal.recover_base(logical)
         pointer = read_pointer(logical)
         if generation is not None:
             gen_number, gen_base = generation, generation_base(logical, generation)

@@ -1,0 +1,124 @@
+"""Durability instrumentation: fsync accounting and crash-fault injection.
+
+Two concerns every persistence-layer module shares live here, below the
+rest of :mod:`repro.storage` so nothing needs a circular import:
+
+* **fsync accounting.**  The group-commit pipeline's contract is a budget
+  -- N queued operations cost at most 2 data-file fsyncs plus 1 pointer
+  swap -- and a budget nobody measures is a comment, not a contract.
+  Every ``os.fsync`` in the storage layer routes through
+  :func:`fsync_file` / :func:`fsync_fd` (data files),
+  :func:`count_dir_fsync` (directory entries) or
+  :func:`count_pointer_swap` (the atomic pointer install, whose internal
+  temp-file fsync and directory fsync are the price of *one* swap, not
+  extra data fsyncs), so a test or benchmark can snapshot
+  :data:`durability` around a commit and assert the budget held.
+
+* **crash-fault injection.**  ``REPRO_UPDATE_FAULT`` names a stage to die
+  at with ``os._exit`` -- no cleanup handlers, no flushing, a real crash
+  model.  The hook started life in :mod:`repro.storage.update` (which
+  still re-exports it) but the durability bugfixes put fault points into
+  the manifest save and the build path too, and those modules must not
+  import the update subsystem.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "FAULT_ENV",
+    "FAULT_EXIT_CODE",
+    "DurabilityCounters",
+    "count_dir_fsync",
+    "count_pointer_swap",
+    "count_wal_append",
+    "count_wal_replay",
+    "durability",
+    "fault_point",
+    "fsync_fd",
+    "fsync_file",
+]
+
+#: Environment variable naming the fault point to die at (crash testing).
+FAULT_ENV = "REPRO_UPDATE_FAULT"
+
+#: Exit code of an injected crash (distinguishes it from real failures).
+FAULT_EXIT_CODE = 86
+
+
+def fault_point(name: str) -> None:
+    """Die hard (``os._exit``) when ``REPRO_UPDATE_FAULT`` names this point.
+
+    ``os._exit`` skips every cleanup handler, which is the point: it models
+    a crash, not an orderly shutdown.  The crash suites assert that whatever
+    stage the process died at, the database reopens in a committed state.
+    """
+    if os.environ.get(FAULT_ENV) == name:
+        os._exit(FAULT_EXIT_CODE)
+
+
+@dataclass
+class DurabilityCounters:
+    """Process-lifetime ledger of what the storage layer flushed when."""
+
+    #: ``os.fsync`` calls on *data* files (.arb, .lab, .meta, .idx, .wal,
+    #: manifests) -- the expensive ones the group-commit budget bounds.
+    data_fsyncs: int = 0
+    #: ``os.fsync`` calls on directories (dirent durability).
+    dir_fsyncs: int = 0
+    #: Atomic pointer installs (each one temp-write + fsync + replace +
+    #: directory fsync, counted as one swap, not as data/dir fsyncs).
+    pointer_swaps: int = 0
+    #: Write-ahead-log group records appended (and fsynced).
+    wal_appends: int = 0
+    #: Crashed groups replayed (or re-validated) from the WAL on recovery.
+    wal_replays: int = 0
+
+    def snapshot(self) -> "DurabilityCounters":
+        return replace(self)
+
+    def since(self, earlier: "DurabilityCounters") -> "DurabilityCounters":
+        """The counter deltas accumulated after ``earlier`` was snapshotted."""
+        return DurabilityCounters(
+            data_fsyncs=self.data_fsyncs - earlier.data_fsyncs,
+            dir_fsyncs=self.dir_fsyncs - earlier.dir_fsyncs,
+            pointer_swaps=self.pointer_swaps - earlier.pointer_swaps,
+            wal_appends=self.wal_appends - earlier.wal_appends,
+            wal_replays=self.wal_replays - earlier.wal_replays,
+        )
+
+
+#: The shared ledger.  Plain int bumps under the GIL; exactness only matters
+#: to single-writer tests and benchmarks, which serialise around it anyway.
+durability = DurabilityCounters()
+
+
+def fsync_file(handle) -> None:
+    """Flush + fsync an open file object, counting one data fsync."""
+    handle.flush()
+    os.fsync(handle.fileno())
+    durability.data_fsyncs += 1
+
+
+def fsync_fd(fd: int) -> None:
+    """fsync a raw descriptor of a data file, counting one data fsync."""
+    os.fsync(fd)
+    durability.data_fsyncs += 1
+
+
+def count_dir_fsync() -> None:
+    durability.dir_fsyncs += 1
+
+
+def count_pointer_swap() -> None:
+    durability.pointer_swaps += 1
+
+
+def count_wal_append() -> None:
+    durability.wal_appends += 1
+
+
+def count_wal_replay() -> None:
+    durability.wal_replays += 1

@@ -43,10 +43,17 @@ except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None
 
 from repro.errors import StorageError
+from repro.storage.durability import (
+    count_dir_fsync,
+    count_pointer_swap,
+    fault_point,
+    fsync_file,
+)
 
 __all__ = [
     "GenerationPointer",
     "POINTER_SUFFIX",
+    "atomic_write_text",
     "creation_counter_of",
     "exclusive_writer",
     "fsync_directory",
@@ -55,6 +62,7 @@ __all__ = [
     "list_generations",
     "logical_base_of",
     "pointer_path",
+    "read_pointer_payload",
     "resolve_logical_base",
     "prune_generations",
     "read_pointer",
@@ -163,6 +171,7 @@ def write_pointer(
     pointer: GenerationPointer,
     *,
     fault=None,
+    sidecar: dict | None = None,
 ) -> str:
     """Atomically install ``pointer`` as the current pointer of ``base_path``.
 
@@ -171,11 +180,22 @@ def write_pointer(
     the two pointer states.  ``fault`` is the update subsystem's
     crash-injection hook: called with ``"pointer-tmp"`` between writing the
     temp file and the atomic replace (see
-    :func:`repro.storage.update.fault_point`).
+    :func:`repro.storage.durability.fault_point`).
+
+    ``sidecar`` optionally embeds the new generation's metadata and label
+    table in the pointer payload itself.  The temp file is fsynced as part
+    of the swap anyway, so whatever rides in it becomes durable for free --
+    which is how the group-commit pipeline keeps its fsync budget: `.lab`
+    and `.meta` are written without their own fsyncs and, should a crash
+    tear them, are rebuilt from the committed pointer's payload on the next
+    open (see :mod:`repro.storage.wal`).  Readers that only want the
+    generation ignore the extra key.
     """
     path = pointer_path(base_path)
     temp_path = path + ".tmp"
-    payload = {"generation": pointer.generation, "counter": pointer.counter}
+    payload: dict = {"generation": pointer.generation, "counter": pointer.counter}
+    if sidecar is not None:
+        payload["sidecar"] = sidecar
     with open(temp_path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
         handle.flush()
@@ -184,12 +204,59 @@ def write_pointer(
         fault("pointer-tmp")
     os.replace(temp_path, path)
     _fsync_directory(os.path.dirname(path) or ".")
+    count_pointer_swap()
     # This process just changed the base's files; the counter memo must not
     # outlive the change (a same-tick same-size meta rewrite would otherwise
     # slip past the fingerprint).  clear() is a single C-level operation, so
     # it cannot race reader threads mid-iteration; pointer writes are rare
     # enough that repopulating the whole memo is free.
     _COUNTER_MEMO.clear()
+    return path
+
+
+def read_pointer_payload(base_path: str) -> dict | None:
+    """The raw pointer payload of ``base_path`` (``None`` when absent).
+
+    Unlike :func:`read_pointer` this keeps every key -- in particular the
+    optional embedded ``sidecar`` the group-commit pipeline stores, which
+    recovery uses to rebuild torn `.lab` / `.meta` files of a committed
+    generation.
+    """
+    path = pointer_path(base_path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError) as error:
+        raise StorageError(f"unreadable generation pointer {path}: {error}") from error
+
+
+def atomic_write_text(
+    path: str,
+    text: str,
+    *,
+    fault_name: str | None = None,
+) -> str:
+    """Write ``text`` to ``path`` with the full temp+fsync+replace protocol.
+
+    The same discipline :func:`write_pointer` uses, packaged for the other
+    small control files of the system (the collection manifest, server
+    ready files): write a temp file, fsync it, ``os.replace`` it over the
+    destination, fsync the directory.  A reader -- concurrent or after a
+    crash at any instant -- sees either the complete old content or the
+    complete new content, never an empty or torn file.  ``fault_name``
+    names a crash-injection point fired between the temp fsync and the
+    replace (see :func:`repro.storage.durability.fault_point`).
+    """
+    temp_path = path + ".tmp"
+    with open(temp_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+        fsync_file(handle)
+    if fault_name is not None:
+        fault_point(fault_name)
+    os.replace(temp_path, path)
+    fsync_directory(os.path.dirname(path) or ".")
     return path
 
 
@@ -320,15 +387,16 @@ def write_metadata(
     generation: int = 0,
     parent_generation: int | None = None,
     fsync: bool = False,
-) -> None:
-    """Write a generation's ``.meta`` sidecar.
+) -> dict:
+    """Write a generation's ``.meta`` sidecar; returns the written payload.
 
     One schema for both producers -- the builder (generation 0) and the
     update subsystem (spliced generations) -- so sidecar consumers never
     see a field set that depends on which path created the files.
     ``counter`` is the pointer change counter the files were created under
     (the buffer pool's fingerprint component); ``parent_generation`` is the
-    update lineage link (``None`` for builds).
+    update lineage link (``None`` for builds).  The returned payload is what
+    the group-commit pipeline embeds in the pointer sidecar.
     """
     payload = {
         "n_nodes": n_nodes,
@@ -343,8 +411,8 @@ def write_metadata(
     with open(base_path + ".meta", "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
         if fsync:
-            handle.flush()
-            os.fsync(handle.fileno())
+            fsync_file(handle)
+    return payload
 
 
 def remove_generation_files(base_path: str, generation: int) -> None:
@@ -390,6 +458,7 @@ def fsync_directory(directory: str) -> None:
     itself.
     """
     _fsync_directory(directory)
+    count_dir_fsync()
 
 
 def _fsync_directory(directory: str) -> None:

@@ -12,6 +12,7 @@ from __future__ import annotations
 import os
 
 from repro.errors import StorageError
+from repro.storage.durability import fsync_file
 
 __all__ = [
     "LabelTable",
@@ -96,15 +97,22 @@ class LabelTable:
     # Persistence
     # ------------------------------------------------------------------ #
 
+    def as_text(self) -> str:
+        """The exact `.lab` file content of the current table.
+
+        What :meth:`save` writes; the group-commit pipeline embeds it in the
+        pointer payload so a torn ``.lab`` can be rebuilt after a crash.
+        """
+        return " ".join(self._names)
+
     def save(self, path: str, *, fsync: bool = False) -> None:
         """Write the table; ``fsync`` forces it to stable storage (the update
         subsystem needs every generation file durable before the pointer
         swap)."""
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(" ".join(self._names))
+            handle.write(self.as_text())
             if fsync:
-                handle.flush()
-                os.fsync(handle.fileno())
+                fsync_file(handle)
 
     @classmethod
     def load(cls, path: str, max_index: int = (1 << 14) - 1) -> "LabelTable":

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterable, Sequence
 
 from repro.core.two_phase import BOTTOM
+from repro.storage.durability import fsync_file
 from repro.storage.generations import logical_base_of
 from repro.storage.labels import CHARACTER_INDEX_LIMIT, LabelTable
 
@@ -285,8 +286,7 @@ def write_page_index(
         handle.write(body[_HEADER.size :])
         handle.write(checksum)
         if fsync:
-            handle.flush()
-            os.fsync(handle.fileno())
+            fsync_file(handle)
 
 
 def load_page_index(path: str) -> PageIndex | None:

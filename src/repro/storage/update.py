@@ -37,6 +37,7 @@ applied operation advances the database by exactly one generation.
 
 from __future__ import annotations
 
+import json
 import os
 import threading
 import time
@@ -46,6 +47,12 @@ from typing import Sequence
 from repro.errors import StorageError
 from repro.storage.bufferpool import invalidate_default_pool
 from repro.storage.database import ArbDatabase
+from repro.storage.durability import (
+    FAULT_ENV,
+    FAULT_EXIT_CODE,
+    fault_point,
+    fsync_file,
+)
 from repro.storage.generations import (
     GenerationPointer,
     creation_counter_of,
@@ -73,6 +80,7 @@ from repro.tree.xml_io import parse_xml
 
 __all__ = [
     "DeleteSubtree",
+    "GroupCommitResult",
     "InsertSubtree",
     "Relabel",
     "UpdateResult",
@@ -80,10 +88,13 @@ __all__ = [
     "FAULT_ENV",
     "FAULT_EXIT_CODE",
     "FAULT_POINTS",
+    "GROUP_FAULT_POINTS",
+    "apply_many",
     "apply_to_tree",
     "apply_update",
     "apply_updates",
     "fault_point",
+    "op_from_spec",
 ]
 
 
@@ -136,6 +147,42 @@ class InsertSubtree:
 UpdateOp = Relabel | DeleteSubtree | InsertSubtree
 
 
+def op_from_spec(spec: dict) -> "UpdateOp":
+    """Build an update operation from a plain-dictionary description.
+
+    This is the one parser behind every serialised op surface -- the
+    ``arb update --group`` JSONL file and the server's ``{"op": "update"}``
+    messages -- so they cannot drift apart::
+
+        {"kind": "relabel", "node": 3, "label": "x", "text": false}
+        {"kind": "delete", "node": 5}
+        {"kind": "insert", "parent": 0, "xml": "<y/>", "at": 1,
+         "text_mode": "chars"}
+    """
+    if not isinstance(spec, dict):
+        raise StorageError(f"an update spec must be an object, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    try:
+        if kind == "relabel":
+            return Relabel(int(spec["node"]), str(spec["label"]),
+                           is_text=bool(spec.get("text", False)))
+        if kind == "delete":
+            return DeleteSubtree(int(spec["node"]))
+        if kind == "insert":
+            position = spec.get("at")
+            return InsertSubtree(
+                int(spec["parent"]),
+                str(spec["xml"]),
+                position=None if position is None else int(position),
+                text_mode=str(spec.get("text_mode", "chars")),
+            )
+    except KeyError as missing:
+        raise StorageError(f"update spec {kind!r} is missing field {missing}") from None
+    raise StorageError(
+        f"unknown update kind {kind!r} (expected relabel, delete or insert)"
+    )
+
+
 # ---------------------------------------------------------------------- #
 # Results and telemetry
 # ---------------------------------------------------------------------- #
@@ -175,17 +222,41 @@ class UpdateResult:
     statistics: UpdateStatistics = field(default_factory=UpdateStatistics)
 
 
+@dataclass
+class GroupCommitResult:
+    """Outcome of one committed *group* of updates (:func:`apply_many`).
+
+    The whole group lands as a single generation: ``counter`` advanced by
+    ``n_ops`` in one pointer swap, so a group is exactly as visible -- and
+    exactly as atomic -- as one update.  Every rider of a coalesced write
+    batch resolves with the same instance.
+    """
+
+    base_path: str
+    old_generation: int
+    new_generation: int
+    counter: int
+    n_ops: int
+    n_nodes: int
+    element_nodes: int = 0
+    char_nodes: int = 0
+    n_tags: int = 0
+    arb_bytes: int = 0
+    #: Whether this commit was a WAL replay of a crashed group.
+    replayed: bool = False
+    statistics: UpdateStatistics = field(default_factory=UpdateStatistics)
+
+
 # ---------------------------------------------------------------------- #
 # Crash-fault injection
 # ---------------------------------------------------------------------- #
 
-#: Environment variable naming the fault point to die at (crash testing).
-FAULT_ENV = "REPRO_UPDATE_FAULT"
+# ``FAULT_ENV`` / ``FAULT_EXIT_CODE`` / ``fault_point`` themselves live in
+# :mod:`repro.storage.durability` now (the manifest and build paths inject
+# faults too) and are re-exported above for the crash suites, which have
+# always imported them from this module.
 
-#: Exit code of an injected crash (distinguishes it from real failures).
-FAULT_EXIT_CODE = 86
-
-#: The stages an update can be killed at, in execution order.
+#: The stages a single-op update can be killed at, in execution order.
 FAULT_POINTS = (
     "analysis",  # analysis done, nothing written yet
     "mid-arb",  # first bytes of the new .arb written (torn file)
@@ -196,16 +267,16 @@ FAULT_POINTS = (
     "after-swap",  # pointer atomically replaced
 )
 
-
-def fault_point(name: str) -> None:
-    """Die hard (``os._exit``) when ``REPRO_UPDATE_FAULT`` names this point.
-
-    ``os._exit`` skips every cleanup handler, which is the point: it models
-    a crash, not an orderly shutdown.  The crash suite asserts that whatever
-    stage the process died at, the old generation reopens byte-identical.
-    """
-    if os.environ.get(FAULT_ENV) == name:
-        os._exit(FAULT_EXIT_CODE)
+#: The extra stages of a *group* commit (:func:`apply_many`), in execution
+#: order.  The group path also passes through ``"mid-arb"`` (first bytes of
+#: every splice in its chain) and ``"pointer-tmp"`` (inside the swap), so a
+#: crash test can hit those shared windows too.
+GROUP_FAULT_POINTS = (
+    "wal-append",  # WAL record bytes written, fsync not yet issued
+    "wal-synced",  # WAL durable; no generation file written yet
+    "group-files",  # all generation files written (only the .arb fsynced)
+    "group-swapped",  # pointer swapped; WAL not yet truncated
+)
 
 
 # ---------------------------------------------------------------------- #
@@ -554,13 +625,16 @@ def _splice(
     edits: list[tuple[int, int, bytes]],
     stats: UpdateStatistics,
     page_size: int,
+    *,
+    fsync: bool = True,
 ) -> None:
     """Emit ``dst`` as ``src`` with ``edits`` applied, copying in page chunks.
 
     The unchanged ranges are moved with plain buffered block copies on the
     page grid -- no record ever gets decoded -- and the destination is
-    fsynced before returning, so a completed splice survives a crash
-    immediately after.
+    fsynced before returning (unless ``fsync=False``: the group pipeline's
+    intermediate splices are rebuilt from the WAL on a crash, so only its
+    *final* splice pays an fsync).
     """
     io = stats.io
     first_write_pending = True
@@ -583,8 +657,10 @@ def _splice(
                 wrote()
             position = offset + old_length
         _copy_range(src, dst, position, file_size, page_size, stats, wrote)
-        dst.flush()
-        os.fsync(dst.fileno())
+        if fsync:
+            fsync_file(dst)
+        else:
+            dst.flush()
 
 
 def _copy_range(src, dst, start: int, end: int, page_size: int, stats, wrote) -> None:
@@ -771,6 +847,11 @@ def apply_update(
     # through "doc.g3" must advance "doc", never fork a "doc.g3" lineage.
     base_path = resolve_logical_base(base_path)
     with exclusive_writer(base_path):
+        from repro.storage import wal
+
+        # A crashed group commit may have left a pending WAL record; finish
+        # (or discard) it first, so this writer starts from a settled state.
+        wal.recover_locked(base_path)
         return _apply_locked(
             base_path, update, page_size, retain_generations,
             expected_generation, expected_counter, started,
@@ -931,6 +1012,334 @@ def apply_updates(
         expected_counter = result.counter
         results.append(result)
     return results
+
+
+# ---------------------------------------------------------------------- #
+# Group commit
+# ---------------------------------------------------------------------- #
+
+#: Pointer payloads stay small control files; a sidecar bigger than this
+#: falls back to eagerly fsyncing `.lab`/`.meta` instead of embedding them.
+_SIDECAR_LIMIT = 64 * 1024
+
+
+def _materialize_op(op: UpdateOp) -> UpdateOp:
+    """Pin an insert's XML parse before it is logged or compiled.
+
+    The WAL stores structural trees, never source text, so parsing must
+    happen exactly once -- here, with the operation's own ``text_mode`` --
+    and both the live apply and any crash replay encode the same nodes.
+    """
+    if isinstance(op, InsertSubtree) and not isinstance(op.source, UnrankedTree):
+        return InsertSubtree(
+            parent=op.parent,
+            source=parse_xml(op.source, text_mode=op.text_mode),
+            position=op.position,
+            text_mode=op.text_mode,
+        )
+    return op
+
+
+def _write_group_index(
+    new_base: str,
+    *,
+    n_nodes: int,
+    record_size: int,
+    page_size: int,
+    n_label_indices: int,
+) -> None:
+    """Summarise the final spliced `.arb` into its `.idx` sidecar, unsynced.
+
+    The group pipeline cannot reuse the single-splice incremental path (its
+    edits span a whole chain of intermediate files), so it recomputes every
+    page from the final bytes -- which is also what makes the sidecar
+    byte-identical to the one sequential applies would have left.  No fsync:
+    the file is crc-guarded, and a torn sidecar only costs scan speed.
+    """
+    pops: list[int] = []
+    pushes: list[int] = []
+    bits: list[int] = []
+    new_size = n_nodes * record_size
+    n_pages = (new_size + page_size - 1) // page_size if new_size else 0
+    with open(new_base + ".arb", "rb") as handle:
+        for page in range(n_pages):
+            start = (page * page_size + record_size - 1) // record_size
+            end = min(((page + 1) * page_size + record_size - 1) // record_size, n_nodes)
+            records = []
+            if end > start:
+                handle.seek(start * record_size)
+                data = handle.read((end - start) * record_size)
+                for position in range(0, len(data), record_size):
+                    node = decode_node(data[position : position + record_size], record_size)
+                    records.append(
+                        (node.label_index, node.has_first_child, node.has_second_child)
+                    )
+            page_pops, page_pushes, page_bits = summarize_records(records)
+            pops.append(page_pops)
+            pushes.append(page_pushes)
+            bits.append(page_bits)
+    index = PageIndex(
+        page_size=page_size,
+        record_size=record_size,
+        n_records=n_nodes,
+        n_label_indices=n_label_indices,
+        pops=tuple(pops),
+        pushes=tuple(pushes),
+        label_bits=tuple(bits),
+    )
+    write_page_index(index_path_of(new_base), index, fsync=False)
+
+
+def apply_many(
+    base_path: str,
+    ops: Sequence[UpdateOp],
+    *,
+    page_size: int = DEFAULT_PAGE_SIZE,
+    retain_generations: int | None = None,
+    expected_generation: int | None = None,
+    expected_counter: int | None = None,
+) -> GroupCommitResult:
+    """Commit ``ops`` as **one group**: one generation, one pointer swap.
+
+    Sequential semantics (each operation's node ids address the state the
+    previous one produced, exactly like :func:`apply_updates`) at group-
+    commit cost: however many operations ride in the group, durability is
+    two data fsyncs -- the WAL record and the final spliced ``.arb`` --
+    plus one pointer swap.  The intermediate splices of the chain are
+    ordinary unsynced files; if the process dies before the swap, the next
+    open replays the whole group from the WAL, and if it dies after, the
+    pointer payload rebuilds any torn unsynced sidecar.  The group is
+    atomic both ways: readers see all of it or none of it, and a failed
+    compile (bad node id, empty result) rolls everything back before any
+    pointer moves.
+
+    The counter advances by ``len(ops)`` in the single swap, so a group
+    leaves the same counter state sequential applies would -- optimistic
+    concurrency across mixed writers keeps working unchanged.
+    """
+    started = time.perf_counter()
+    if base_path.endswith(".arb"):
+        base_path = base_path[: -len(".arb")]
+    base_path = resolve_logical_base(base_path)
+    ops = list(ops)
+    if not ops:
+        raise StorageError("apply_many needs at least one operation")
+    with exclusive_writer(base_path):
+        from repro.storage import wal
+
+        wal.recover_locked(base_path)
+        return _apply_many_locked(
+            base_path,
+            ops,
+            page_size=page_size,
+            retain_generations=retain_generations,
+            expected_generation=expected_generation,
+            expected_counter=expected_counter,
+            started=started,
+        )
+
+
+def _apply_many_locked(
+    base_path: str,
+    ops: list[UpdateOp],
+    *,
+    page_size: int,
+    retain_generations: int | None,
+    expected_generation: int | None,
+    expected_counter: int | None,
+    started: float | None,
+    replaying: bool = False,
+) -> GroupCommitResult:
+    from repro.storage import wal
+    from repro.storage.generations import prune_generations
+
+    if started is None:
+        started = time.perf_counter()
+    pointer = read_pointer(base_path)
+    if expected_generation is not None and pointer.generation != expected_generation:
+        raise StorageError(
+            f"{base_path}: concurrent update conflict -- expected generation "
+            f"{expected_generation} but {pointer.generation} is current; "
+            f"node ids may be stale (refresh and retry)"
+        )
+    if expected_counter is not None and pointer.counter != expected_counter:
+        raise StorageError(
+            f"{base_path}: concurrent update conflict -- expected change "
+            f"counter {expected_counter} but {pointer.counter} is current "
+            f"(another update or rebuild landed); node ids may be stale "
+            f"(refresh and retry)"
+        )
+
+    old_base = generation_base(base_path, pointer.generation)
+    stats = UpdateStatistics()
+    database = ArbDatabase.open(old_base, page_size=page_size)
+    try:
+        record_size = database.record_size
+        old_arb = database.arb_path
+        old_size = database.file_size()
+        cache_key = structure_cache.key_for(old_arb)
+        structure = structure_cache.get(cache_key)
+        if structure is None:
+            structure = _analyse(database, stats.io)
+            structure_cache.put(cache_key, structure)
+        else:
+            stats.analysis_cache_hit = True
+        labels = LabelTable.load(old_base + ".lab", max_index=max_label_index(record_size))
+        element_nodes = database.element_nodes
+        char_nodes = database.char_nodes
+    finally:
+        database.close()
+
+    ops = [_materialize_op(op) for op in ops]
+    n_ops = len(ops)
+    new_counter = pointer.counter + n_ops
+    new_generation = new_counter  # the counter doubles as the allocator
+    new_base = generation_base(base_path, new_generation)
+
+    if not replaying:
+        # Durable intent first (fsync #1): from here on, a crash anywhere
+        # before the swap replays this exact group on the next open.
+        wal.append_group(
+            base_path,
+            base_generation=pointer.generation,
+            base_counter=pointer.counter,
+            target_counter=new_counter,
+            page_size=page_size,
+            ops=ops,
+        )
+
+    temp_paths: list[str] = []
+    committed = False
+    try:
+        # ---- splice chain: op i reads op i-1's output ------------------- #
+        src_path, src_size = old_arb, old_size
+        n_nodes = structure.n
+        final_structure: _Structure | None = None
+        for position, op in enumerate(ops):
+            plan = _compile_op(op, structure, labels, record_size)
+            n_nodes += plan.n_nodes_delta
+            if n_nodes <= 0:
+                raise StorageError("an update may not leave the database empty")
+            element_nodes += plan.element_delta
+            char_nodes += plan.char_delta
+            last = position == n_ops - 1
+            dst_path = new_base + ".arb" if last else f"{new_base}.tmp{position}.arb"
+            if not last:
+                temp_paths.append(dst_path)
+            # Only the last link of the chain is fsynced (fsync #2): the
+            # intermediates are scratch the WAL can always rebuild.
+            _splice(src_path, dst_path, src_size, plan.edits, stats, page_size, fsync=last)
+            stats.records_reencoded += sum(
+                len(replacement) // record_size for _, _, replacement in plan.edits
+            )
+            if plan.derived is not None:
+                structure = plan.derived
+                if last:
+                    final_structure = structure
+            elif not last:
+                # Deletes/inserts moved node ids: re-analyse the freshly
+                # spliced bytes (in memory, never through any shared cache).
+                temp_db = ArbDatabase(
+                    base_path=dst_path[: -len(".arb")],
+                    n_nodes=n_nodes,
+                    record_size=record_size,
+                    labels=labels,
+                    page_size=page_size,
+                )
+                structure = _analyse(temp_db, stats.io)
+            src_path, src_size = dst_path, n_nodes * record_size
+
+        # ---- unsynced sidecars: the pointer payload backs them up ------- #
+        labels.save(new_base + ".lab")
+        meta_payload = write_metadata(
+            new_base,
+            n_nodes=n_nodes,
+            record_size=record_size,
+            element_nodes=element_nodes,
+            char_nodes=char_nodes,
+            n_tags=labels.n_tags,
+            counter=new_counter,
+            generation=new_generation,
+            parent_generation=pointer.generation,
+        )
+        _write_group_index(
+            new_base,
+            n_nodes=n_nodes,
+            record_size=record_size,
+            page_size=page_size,
+            n_label_indices=FIRST_TAG_INDEX + labels.n_tags,
+        )
+        invalidate_default_pool(new_base + ".arb")
+        invalidate_index_cache(new_base)
+        fsync_directory(os.path.dirname(new_base) or ".")
+        fault_point("group-files")
+
+        sidecar: dict | None = {"meta": meta_payload, "labels": labels.as_text()}
+        if len(json.dumps(sidecar)) > _SIDECAR_LIMIT:
+            # Too big to ride in the pointer: pay two extra fsyncs instead
+            # of growing the control file without bound.
+            labels.save(new_base + ".lab", fsync=True)
+            write_metadata(
+                new_base,
+                n_nodes=n_nodes,
+                record_size=record_size,
+                element_nodes=element_nodes,
+                char_nodes=char_nodes,
+                n_tags=labels.n_tags,
+                counter=new_counter,
+                generation=new_generation,
+                parent_generation=pointer.generation,
+                fsync=True,
+            )
+            sidecar = None
+
+        # ---- the atomic swap (commits the whole group at once) ---------- #
+        write_pointer(
+            base_path,
+            GenerationPointer(generation=new_generation, counter=new_counter),
+            fault=fault_point,
+            sidecar=sidecar,
+        )
+        committed = True
+        fault_point("group-swapped")
+        wal.clear_wal(base_path)
+    except BaseException:
+        if not committed:
+            # A clean failure rejects the group whole: no pointer moved, so
+            # drop the intent record and any partial generation files.
+            wal.clear_wal(base_path)
+            for suffix in (".arb", ".lab", ".meta", ".idx"):
+                try:
+                    os.remove(new_base + suffix)
+                except OSError:
+                    pass
+        raise
+    finally:
+        for temp in temp_paths:
+            try:
+                os.remove(temp)
+            except OSError:
+                pass
+
+    if final_structure is not None:
+        structure_cache.put(structure_cache.key_for(new_base + ".arb"), final_structure)
+    if retain_generations is not None:
+        prune_generations(base_path, retain_generations)
+    stats.seconds = time.perf_counter() - started
+    return GroupCommitResult(
+        base_path=base_path,
+        old_generation=pointer.generation,
+        new_generation=new_generation,
+        counter=new_counter,
+        n_ops=n_ops,
+        n_nodes=n_nodes,
+        element_nodes=element_nodes,
+        char_nodes=char_nodes,
+        n_tags=labels.n_tags,
+        arb_bytes=n_nodes * record_size,
+        replayed=replaying,
+        statistics=stats,
+    )
 
 
 # ---------------------------------------------------------------------- #

@@ -1,0 +1,206 @@
+"""Crash-injection coverage for the durability fixes outside the WAL path.
+
+Three small persistence-layer surfaces used to commit less than they
+claimed; each gets the fix asserted under a real crash model (``os._exit``
+at an injected fault point, a subprocess per attempt):
+
+* ``CollectionManifest.save`` now uses the temp+fsync+replace protocol --
+  a crash between the durable temp file and the rename leaves the old
+  manifest byte-intact, never an empty or torn ``collection.json``;
+* ``build_database`` fsyncs every generation-0 file (`.arb`, `.lab`,
+  `.idx`, `.meta`) *before* the pointer bump -- a crash at the
+  ``build-files`` stage leaves the data files complete on disk, and a
+  retry lands the build;
+* ``arb serve --ready-file`` writes its ``host port`` line atomically --
+  a polling watcher can never observe the file created-but-empty.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.collection import Collection
+from repro.collection.manifest import MANIFEST_NAME
+from repro.engine import Database
+from repro.storage.build import build_database
+from repro.storage.durability import FAULT_ENV, FAULT_EXIT_CODE
+from repro.storage.generations import read_pointer
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+DOC = "<lib><book><a/><b/></book><dvd/><book/></lib>"
+BOOKS = "QUERY :- V.Label[book];"
+
+MANIFEST_SCRIPT = """
+import sys
+from repro.collection import Collection
+from repro.storage.update import Relabel
+collection = Collection.open(sys.argv[1])
+collection.apply("one", Relabel(1, "tome"))
+print("survived")
+"""
+
+SAVE_SCRIPT = """
+import sys
+from repro.collection import Collection
+collection = Collection.open(sys.argv[1])
+collection.manifest.name = sys.argv[2]
+collection.save_manifest()
+print("survived")
+"""
+
+BUILD_SCRIPT = """
+import sys
+from repro.storage.build import build_database
+build_database(sys.argv[2], sys.argv[1], text_mode="ignore")
+print("survived")
+"""
+
+
+def _run(script: str, args: list[str], fault: str | None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if fault is None:
+        env.pop(FAULT_ENV, None)
+    else:
+        env[FAULT_ENV] = fault
+    return subprocess.run(
+        [sys.executable, "-c", script, *args],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Manifest durability
+# --------------------------------------------------------------------------- #
+
+
+def test_manifest_crash_between_temp_and_rename_keeps_the_old_manifest(tmp_path):
+    root = str(tmp_path / "corpus")
+    collection = Collection.create(root)
+    collection.add_document(DOC, doc_id="one", text_mode="ignore")
+    manifest_path = os.path.join(root, MANIFEST_NAME)
+    with open(manifest_path, "rb") as handle:
+        before = handle.read()
+
+    completed = _run(MANIFEST_SCRIPT, [root], "manifest-tmp")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+    assert "survived" not in completed.stdout
+
+    # The old manifest is byte-intact (the crash hit after the durable temp
+    # file, before the rename) and still loads.
+    with open(manifest_path, "rb") as handle:
+        assert handle.read() == before
+    reopened = Collection.open(root)
+    assert reopened.manifest.get("one").generation == 0
+    assert reopened.query(BOOKS).count() == 2
+
+    # A clean save replaces it whole; the leftover temp file is harmless.
+    reopened.save_manifest()
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        json.load(handle)
+
+
+def test_manifest_is_never_empty_or_torn_under_repeated_crashes(tmp_path):
+    root = str(tmp_path / "corpus")
+    collection = Collection.create(root)
+    collection.add_document(DOC, doc_id="one", text_mode="ignore")
+    manifest_path = os.path.join(root, MANIFEST_NAME)
+    for attempt in range(3):
+        completed = _run(SAVE_SCRIPT, [root, f"renamed-{attempt}"], "manifest-tmp")
+        assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+        with open(manifest_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)  # parses every time: never torn
+        assert payload["documents"], payload
+        assert payload["name"] != f"renamed-{attempt}"  # the rename never landed
+
+
+# --------------------------------------------------------------------------- #
+# Build durability
+# --------------------------------------------------------------------------- #
+
+
+def test_build_crash_before_the_pointer_leaves_complete_data_files(tmp_path):
+    base = str(tmp_path / "doc")
+    twin = str(tmp_path / "twin")
+    build_database(DOC, twin, text_mode="ignore")
+
+    completed = _run(BUILD_SCRIPT, [base, DOC], "build-files")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+
+    # Every data file the pointer bump would have committed to is already
+    # complete and durable -- byte-identical to an uncrashed build.
+    for suffix in (".arb", ".lab", ".meta", ".idx"):
+        with open(base + suffix, "rb") as mine, open(twin + suffix, "rb") as theirs:
+            assert mine.read() == theirs.read(), suffix
+
+    # The retry lands the build whole.
+    completed = _run(BUILD_SCRIPT, [base, DOC], None)
+    assert completed.returncode == 0, completed.stderr
+    database = Database.open(base)
+    assert database.n_nodes == 6
+    assert database.query(BOOKS, engine="disk").count() == 2
+
+
+def test_rebuild_crash_before_the_pointer_keeps_the_old_counter(tmp_path):
+    base = str(tmp_path / "doc")
+    build_database(DOC, base, text_mode="ignore")
+    assert read_pointer(base).counter == 1
+
+    completed = _run(BUILD_SCRIPT, [base, "<other><x/></other>"], "build-files")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+    # The counter bump never happened: no committed change number names the
+    # crashed rebuild's files.
+    assert read_pointer(base).counter == 1
+
+    completed = _run(BUILD_SCRIPT, [base, "<other><x/></other>"], None)
+    assert completed.returncode == 0, completed.stderr
+    assert read_pointer(base).counter == 2
+    assert Database.open(base).n_nodes == 2
+
+
+# --------------------------------------------------------------------------- #
+# Ready-file atomicity
+# --------------------------------------------------------------------------- #
+
+
+def test_serve_ready_file_is_written_atomically(tmp_path):
+    from repro.service.server import serve
+
+    base = str(tmp_path / "doc")
+    build_database(DOC, base, text_mode="ignore")
+    ready = str(tmp_path / "ready.txt")
+
+    async def main():
+        task = asyncio.ensure_future(serve(base, port=0, ready_file=ready))
+        try:
+            for _ in range(500):
+                # A polling watcher: the instant the path exists, its
+                # content must already be complete -- the atomic rename is
+                # the publication point, so created-but-empty is impossible.
+                if os.path.exists(ready):
+                    with open(ready, "r", encoding="utf-8") as handle:
+                        return handle.read()
+                await asyncio.sleep(0.01)
+            raise AssertionError("ready file never appeared")
+        finally:
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    content = asyncio.run(main())
+    host, port = content.split()
+    assert int(port) > 0
+    assert content.endswith("\n")
+    # No temp file left behind: the rename consumed it.
+    assert not os.path.exists(ready + ".tmp")

@@ -1,0 +1,260 @@
+"""Crash consistency of group commits: the `.wal` roll-forward protocol.
+
+A subprocess applies a three-operation group with ``REPRO_UPDATE_FAULT``
+naming one of the group-commit fault points, then dies with ``os._exit`` at
+that exact stage.  The invariants:
+
+* before the WAL record is durable (``wal-append``) the group simply never
+  happened -- the next open discards the torn WAL and serves the old
+  generation;
+* once the WAL record is durable (``wal-synced`` and every later stage) the
+  group is **promised**: the next open replays it to completion, and the
+  replayed generation is byte-identical to the same operations applied one
+  commit at a time;
+* after the pointer swap (``group-swapped``) the group is committed; the
+  next open merely truncates the spent WAL;
+* the old generation's bytes survive every stage untouched, and the pointer
+  file parses at every stage (never torn).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine import Database
+from repro.storage.build import build_database
+from repro.storage.durability import durability
+from repro.storage.generations import (
+    generation_base,
+    list_generations,
+    pointer_path,
+    read_pointer,
+)
+from repro.storage.update import (
+    FAULT_ENV,
+    FAULT_EXIT_CODE,
+    GROUP_FAULT_POINTS,
+    DeleteSubtree,
+    InsertSubtree,
+    Relabel,
+    apply_update,
+)
+from repro.storage.wal import read_group, wal_path
+
+SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+DOC = "<lib><book><a/><b/></book><dvd/><book/></lib>"
+BOOKS = "QUERY :- V.Label[book];"
+
+#: The group the crashing subprocess attempts (mirrors tests/test_group_commit).
+GROUP = (
+    Relabel(1, "tome"),
+    InsertSubtree(0, "<book><isbn/></book>", position=0),
+    DeleteSubtree(4),
+)
+
+#: Counter starts at 1 after a build, so a three-op group commits as
+#: generation 1 + 3.
+TARGET_GENERATION = 4
+
+GROUP_SCRIPT = """
+import sys
+from repro.storage.update import DeleteSubtree, InsertSubtree, Relabel, apply_many
+apply_many(sys.argv[1], [
+    Relabel(1, "tome"),
+    InsertSubtree(0, "<book><isbn/></book>", position=0),
+    DeleteSubtree(4),
+])
+print("survived")
+"""
+
+OPEN_SCRIPT = """
+import sys
+from repro.storage.database import ArbDatabase
+ArbDatabase.open(sys.argv[1])
+print("opened")
+"""
+
+#: Group stages at which the WAL record is already durable: the group must
+#: roll forward on the next open.  ``mid-arb`` and ``pointer-tmp`` are the
+#: legacy splice/swap faults the group path passes through as well.
+PROMISED_POINTS = ("wal-synced", "mid-arb", "group-files", "pointer-tmp")
+
+
+def _build(tmp_path, name: str = "doc") -> str:
+    base = str(tmp_path / name)
+    build_database(DOC, base, text_mode="ignore")
+    return base
+
+
+def _run(script: str, base: str, fault: str | None) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    if fault is None:
+        env.pop(FAULT_ENV, None)
+    else:
+        env[FAULT_ENV] = fault
+    return subprocess.run(
+        [sys.executable, "-c", script, base],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+
+
+def _sequential_reference(tmp_path) -> str:
+    base = _build(tmp_path, "reference")
+    for op in GROUP:
+        apply_update(base, op)
+    return base
+
+
+def _old_generation_bytes(base: str) -> dict[str, bytes]:
+    snapshot = {}
+    for suffix in (".arb", ".lab", ".meta"):
+        path = generation_base(base, 0) + suffix
+        with open(path, "rb") as handle:
+            snapshot[path] = handle.read()
+    return snapshot
+
+
+def test_crash_before_the_wal_is_durable_discards_the_group(tmp_path):
+    base = _build(tmp_path)
+    old = _old_generation_bytes(base)
+    completed = _run(GROUP_SCRIPT, base, "wal-append")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+    assert "survived" not in completed.stdout
+
+    # The WAL was never fsynced: whatever of it exists is discarded and the
+    # group never happened.
+    database = Database.open(base)
+    assert database.generation == 0
+    assert database.n_nodes == 6
+    assert read_pointer(base).counter == 1
+    assert list_generations(base) == [0]
+    assert _old_generation_bytes(base) == old
+    assert read_group(base) is None
+
+
+@pytest.mark.parametrize("fault", PROMISED_POINTS)
+def test_crash_after_the_wal_is_durable_replays_the_group(tmp_path, fault):
+    reference = _sequential_reference(tmp_path)
+    base = _build(tmp_path)
+    old = _old_generation_bytes(base)
+    completed = _run(GROUP_SCRIPT, base, fault)
+    assert completed.returncode == FAULT_EXIT_CODE, (fault, completed.stderr)
+
+    # The promise is on disk before the crash...
+    record = read_group(base)
+    assert record is not None
+    assert record["target_counter"] == TARGET_GENERATION
+
+    # ...and the next open honours it: the group rolls forward.
+    before = durability.snapshot()
+    database = Database.open(base)
+    assert durability.since(before).wal_replays == 1
+    assert database.generation == TARGET_GENERATION
+    assert database.n_nodes == 7
+    assert database.query(BOOKS, engine="disk").count() == 2
+
+    # Byte identity with the sequential applies survives the crash+replay.
+    for suffix in (".arb", ".lab", ".idx"):
+        with open(generation_base(base, TARGET_GENERATION) + suffix, "rb") as mine, \
+                open(generation_base(reference, TARGET_GENERATION) + suffix, "rb") as theirs:
+            assert mine.read() == theirs.read(), (fault, suffix)
+
+    # The old generation is untouched and the WAL is spent.
+    assert _old_generation_bytes(base) == old
+    assert os.path.getsize(wal_path(base)) == 0
+
+
+def test_crash_after_the_swap_truncates_the_spent_wal(tmp_path):
+    base = _build(tmp_path)
+    completed = _run(GROUP_SCRIPT, base, "group-swapped")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+
+    # Committed before the crash: the pointer already names the group's
+    # generation; reopening must not replay (that would double-apply).
+    assert read_pointer(base).generation == TARGET_GENERATION
+    before = durability.snapshot()
+    database = Database.open(base)
+    assert durability.since(before).wal_replays == 0
+    assert database.generation == TARGET_GENERATION
+    assert database.n_nodes == 7
+    assert os.path.getsize(wal_path(base)) == 0
+
+
+def test_torn_wal_record_is_discarded(tmp_path):
+    base = _build(tmp_path)
+    completed = _run(GROUP_SCRIPT, base, "wal-synced")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+    assert read_group(base) is not None
+
+    # Tear the tail off the durable record (a torn disk write): the
+    # checksum no longer matches, so the promise is void, not corrupt.
+    size = os.path.getsize(wal_path(base))
+    with open(wal_path(base), "r+b") as handle:
+        handle.truncate(size - 3)
+    assert read_group(base) is None
+    database = Database.open(base)
+    assert database.generation == 0
+    assert database.n_nodes == 6
+
+
+def test_replay_is_itself_crash_safe(tmp_path):
+    """A crash *during* replay leaves a WAL a later open still honours."""
+    base = _build(tmp_path)
+    completed = _run(GROUP_SCRIPT, base, "group-files")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+
+    # Reopen with a fault at a later stage: the replay starts, crashes.
+    completed = _run(OPEN_SCRIPT, base, "pointer-tmp")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+    assert "opened" not in completed.stdout
+    assert read_group(base) is not None
+
+    # Third open, no fault: the twice-crashed group finally lands, once.
+    database = Database.open(base)
+    assert database.generation == TARGET_GENERATION
+    assert database.n_nodes == 7
+    assert database.query(BOOKS, engine="disk").count() == 2
+
+
+def test_pointer_parses_at_every_group_stage(tmp_path):
+    for fault in GROUP_FAULT_POINTS:
+        base = _build(tmp_path, f"doc-{fault}")
+        completed = _run(GROUP_SCRIPT, base, fault)
+        assert completed.returncode == FAULT_EXIT_CODE, (fault, completed.stderr)
+        with open(pointer_path(base), "r", encoding="utf-8") as handle:
+            payload = json.load(handle)  # parses at every stage: never torn
+        assert {"generation", "counter"} <= set(payload) <= \
+            {"generation", "counter", "sidecar"}
+        # Whatever happened, the base opens and answers.
+        Database.open(base).query(BOOKS, engine="disk")
+
+
+def test_torn_sidecars_behind_a_committed_pointer_are_repaired(tmp_path):
+    """os._exit keeps OS-buffered writes, so simulate the power loss by
+    hand: after a committed crash, tear the unsynced `.lab` and drop the
+    `.meta`; the pointer's sidecar payload must rebuild both on open."""
+    base = _build(tmp_path)
+    completed = _run(GROUP_SCRIPT, base, "group-swapped")
+    assert completed.returncode == FAULT_EXIT_CODE, completed.stderr
+
+    new_base = generation_base(base, TARGET_GENERATION)
+    with open(new_base + ".lab", "w", encoding="utf-8") as handle:
+        handle.write("@@garbage")
+    os.remove(new_base + ".meta")
+
+    database = Database.open(base)
+    assert database.generation == TARGET_GENERATION
+    assert database.n_nodes == 7
+    assert database.query(BOOKS, engine="disk").count() == 2
+    assert database.query("QUERY :- V.Label[tome];", engine="disk").count() == 1
