@@ -10,7 +10,10 @@ a copy-on-write update-throughput benchmark (relabel rounds and the query
 batch on the updated generation), and a page-skipping selectivity sweep
 (batches of 1/10/100 section queries over a sectioned document; the `.idx`
 sidecar must make ``pages_read`` shrink with selectivity at identical
-answers) -- and writes one JSON record per benchmark::
+answers), and a replication read-scaling sweep (the same concurrent burst
+routed across 1/2/4 in-process replicas; answers must be byte-identical to
+the primary's direct evaluation, see :mod:`repro.bench.replication`) --
+and writes one JSON record per benchmark::
 
     {"name": "scan-forward/treebank/mmap", "wall_seconds": 0.0021,
      "pages_read": 1, "seeks": 1, "bytes_read": 120132}
@@ -47,6 +50,7 @@ import tempfile
 import time
 
 from repro.bench.figure6 import load_block_tree
+from repro.bench.replication import replication_benchmarks
 from repro.engine import Database
 from repro.plan.kernel import numpy_available
 from repro.storage.build import build_database
@@ -210,6 +214,7 @@ def run_benchmarks(
         _update_benchmarks(tmp, entries, repeats, treebank_nodes, acgt_exponent)
         _group_commit_benchmark(tmp, entries, treebank_nodes, acgt_exponent)
         _selectivity_benchmarks(tmp, entries, repeats)
+        replication_benchmarks(tmp, entries, _entry)
     return payload
 
 

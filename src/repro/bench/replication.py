@@ -1,0 +1,196 @@
+"""Read-scaling benchmark of the replication tier, for the regression gate.
+
+Brings up a primary plus N in-process replica servers behind an
+:class:`~repro.replication.ArbRouter` for N in :data:`REPLICA_TIERS` and
+drives the same fixed query burst through the router at each tier, from
+:data:`CLIENT_CONNECTIONS` concurrent client connections (each connection's
+burst is pinned to one replica, so the tiers differ only in how many
+replicas share the load).
+
+Two properties are asserted in-process on every run, so a broken tier
+fails the benchmark job before any baseline diff:
+
+* **byte identity** -- every routed answer (the selected node ids) equals
+  the answer of the same query evaluated directly on the primary's
+  database, whatever replica served it and however many replicas exist;
+* **fan-out** -- with more replicas than one, more than one replica
+  actually served requests (the router really spreads the load).
+
+The JSON entries' exact-gated counters are the scan-pair I/O of the burst
+evaluated once locally -- the deterministic per-replica cost of one
+coalesced batch, identical across tiers by the byte-identity property.
+Wall clock (and the derived ``queries_per_sec``) is telemetry only:
+in-process servers share one GIL, so absolute throughput says little, and
+gating it would be flake.  The soak tests in ``test_replication_soak.py``
+cover the multi-process topology.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import shutil
+
+from repro.engine import Database
+from repro.plan.cache import PlanCache
+from repro.storage.build import build_database
+
+__all__ = ["replication_benchmarks", "REPLICA_TIERS"]
+
+#: Replica counts the read-scaling sweep runs through.
+REPLICA_TIERS = (1, 2, 4)
+
+#: Concurrent client connections driving each tier (each one a pinned burst).
+CLIENT_CONNECTIONS = 4
+
+#: Queries per connection per tier run.
+BURST_SIZE = 8
+
+#: The benchmark document: a few hundred nodes across distinct labels, so
+#: the burst mixes plans while one scan pair stays cheap.
+DOCUMENT = (
+    "<lib>"
+    + "".join(
+        f"<book id='{i}'><title>t{i}</title><isbn/></book>" for i in range(40)
+    )
+    + "<dvd/></lib>"
+)
+
+#: The labels the burst queries for (cycled to fill BURST_SIZE).
+LABELS = ("book", "title", "isbn", "dvd")
+
+
+def _burst_queries() -> list[str]:
+    return [
+        f"QUERY :- V.Label[{LABELS[i % len(LABELS)]}];" for i in range(BURST_SIZE)
+    ]
+
+
+def _burst_messages() -> list[dict]:
+    return [{"query": query, "ids": True} for query in _burst_queries()]
+
+
+async def _run_tier(primary_base: str, replica_bases: list[str]) -> dict:
+    """One tier: serve, route, burst; returns answers + timings."""
+    import asyncio
+    import time
+
+    from repro.replication import ArbRouter
+    from repro.service import ArbServer, request_many
+
+    def open_db(base: str) -> Database:
+        database = Database.open(base)
+        database.plan_cache = PlanCache()
+        return database
+
+    primary = ArbServer(open_db(primary_base))
+    replicas = [ArbServer(open_db(base)) for base in replica_bases]
+    await primary.start()
+    endpoints = []
+    for replica in replicas:
+        endpoints.append(await replica.start())
+    # Health pings off (24h interval): the request counters below must
+    # count client reads only, so the fan-out assert is deterministic.
+    router = ArbRouter(
+        (primary.host, primary.port),
+        endpoints,
+        ping_interval=86_400.0,
+        register_replicas=False,
+    )
+    await router.start()
+    try:
+        messages = _burst_messages()
+
+        async def one_connection():
+            return await request_many(router.host, router.port, messages)
+
+        # Warm-up: plans compile, connections open, pins rotate.
+        await asyncio.gather(*(one_connection() for _ in range(CLIENT_CONNECTIONS)))
+
+        started = time.perf_counter()
+        bursts = await asyncio.gather(
+            *(one_connection() for _ in range(CLIENT_CONNECTIONS))
+        )
+        wall = time.perf_counter() - started
+
+        (stats,) = await request_many(
+            router.host, router.port, [{"op": "router_stats"}]
+        )
+        return {
+            "wall": wall,
+            "bursts": bursts,
+            "served": sum(
+                1 for row in stats["replicas"] if row["requests"] >= BURST_SIZE
+            ),
+        }
+    finally:
+        await router.stop()
+        for replica in replicas:
+            await replica.stop()
+        await primary.stop()
+
+
+def replication_benchmarks(tmp: str, entries: list, entry_factory) -> None:
+    """Append one ``replication/read-scaling/{n}`` entry per tier.
+
+    ``entry_factory`` is :func:`repro.bench.regression._entry` (passed in to
+    keep this module import-light for the bench package).
+    """
+    import asyncio
+
+    primary_base = os.path.join(tmp, "replicated", "db")
+    os.makedirs(os.path.dirname(primary_base))
+    build_database(DOCUMENT, primary_base)
+    replica_bases = []
+    for index in range(max(REPLICA_TIERS)):
+        replica_dir = os.path.join(tmp, f"replica{index}")
+        os.makedirs(replica_dir)
+        for path in glob.glob(primary_base + "*"):
+            shutil.copy(path, replica_dir)
+        replica_bases.append(os.path.join(replica_dir, "db"))
+
+    # The reference evaluation: the same burst, answered directly by the
+    # primary's database as one coalesced batch.  Its scan-pair counters
+    # are the deterministic artifact the entries gate on, and its answers
+    # are the byte-identity reference for every routed reply.
+    database = Database.open(primary_base)
+    database.plan_cache = PlanCache()
+    batch = database.query_many(
+        _burst_queries(), engine="disk", temp_dir=tmp, kernel="python"
+    )
+    reference = [result.selected_nodes() for result in batch.results]
+
+    total_queries = CLIENT_CONNECTIONS * BURST_SIZE
+    for tier in REPLICA_TIERS:
+        outcome = asyncio.run(_run_tier(primary_base, replica_bases[:tier]))
+        for burst in outcome["bursts"]:
+            for index, reply in enumerate(burst):
+                if not reply.get("ok"):
+                    raise AssertionError(
+                        f"replication/read-scaling/{tier}: routed query "
+                        f"{index} failed: {reply.get('error')}"
+                    )
+                if reply["selected"][""] != reference[index]:
+                    raise AssertionError(
+                        f"replication/read-scaling/{tier}: routed answer "
+                        f"{index} differs from the primary's direct answer"
+                    )
+        if tier > 1 and outcome["served"] < 2:
+            raise AssertionError(
+                f"replication/read-scaling/{tier}: only {outcome['served']} "
+                f"replica(s) served the burst -- the router did not fan out"
+            )
+        entries.append(
+            entry_factory(
+                f"replication/read-scaling/{tier}",
+                outcome["wall"],
+                batch.arb_io,
+                replicas=tier,
+                queries=total_queries,
+                queries_per_sec=round(total_queries / outcome["wall"], 1),
+                replicas_serving=outcome["served"],
+                # In-process replicas share one interpreter: wall clock is
+                # topology telemetry, not a throughput gate.
+                wall_gated=False,
+            )
+        )

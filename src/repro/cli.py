@@ -55,6 +55,15 @@ Subcommands
     ``--write-window`` the same happens to updates: concurrent update
     requests commit as one group with a single WAL append and fsync pair.
 
+``arb router --primary HOST:PORT --replica HOST:PORT [--replica ...]``
+    Run the replication front door: reads fan out across the replica
+    servers (consistent-hash by ``doc_id``, burst-pinned round-robin
+    otherwise, transparent failover), updates forward to the primary, which
+    ships each committed generation back to the replicas (``arb serve
+    --replicate {async,sync}`` picks whether shipping happens after or
+    before the update ack).  Clients speak the ordinary ``arb serve``
+    protocol to the router, unchanged.
+
 ``arb client (-q PROGRAM | -x XPATH) [--repeat N]``
     Send queries to a running ``arb serve`` in one concurrent burst (so they
     can share a window) and print the per-request coalescing statistics.
@@ -224,6 +233,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="lockstep automaton kernel for disk scans: vectorised numpy or the pure-Python loop (default: REPRO_KERNEL or auto-detect; identical answers and I/O counters)")
     serve.add_argument("--ready-file", metavar="PATH",
                        help="write 'host port' to PATH once the listener is bound")
+    serve.add_argument("--replicate", choices=("async", "sync"), default="async",
+                       help="when replicas register with this server, ship "
+                            "committed generations after the update ack "
+                            "(async, default) or before it (sync)")
+
+    router = subparsers.add_parser(
+        "router",
+        help="fan a query stream across replica servers (reads scale out, "
+             "writes forward to the primary)",
+    )
+    router.add_argument("--primary", required=True, metavar="HOST:PORT",
+                        help="the ArbServer that owns updates")
+    router.add_argument("--replica", action="append", required=True,
+                        metavar="HOST:PORT", dest="replicas",
+                        help="a read replica ArbServer (repeatable)")
+    router.add_argument("--host", default="127.0.0.1", help="bind address")
+    router.add_argument("--port", type=int, default=8722,
+                        help="TCP port (0 picks an ephemeral port)")
+    router.add_argument("--ping-interval", type=float, default=0.5,
+                        metavar="SECONDS",
+                        help="health/fencing probe cadence (default: 0.5)")
+    router.add_argument("--no-register", action="store_true",
+                        help="do not register the replicas with the primary "
+                             "on startup (they must already be registered)")
+    router.add_argument("--ready-file", metavar="PATH",
+                        help="write 'host port' to PATH once the listener is bound")
 
     client = subparsers.add_parser(
         "client", help="send queries to a running 'arb serve' in one burst"
@@ -433,6 +468,34 @@ def _command_serve(args: argparse.Namespace) -> int:
                 pager_mode=args.pager,
                 use_index=not args.no_index,
                 kernel=args.kernel,
+                replication_mode=args.replicate,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+    return 0
+
+
+def _parse_endpoint(text: str) -> tuple[str, int]:
+    host, separator, port = text.rpartition(":")
+    if not separator or not host or not port.isdigit():
+        raise SystemExit(f"arb router: expected HOST:PORT, got {text!r}")
+    return host, int(port)
+
+
+def _command_router(args: argparse.Namespace) -> int:
+    from repro.replication import route
+
+    try:
+        asyncio.run(
+            route(
+                _parse_endpoint(args.primary),
+                [_parse_endpoint(replica) for replica in args.replicas],
+                host=args.host,
+                port=args.port,
+                ready_file=args.ready_file,
+                ping_interval=args.ping_interval,
+                register_replicas=not args.no_register,
             )
         )
     except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
@@ -602,6 +665,8 @@ def main(argv: list[str] | None = None) -> int:
             return _command_collection(args)
         if args.command == "serve":
             return _command_serve(args)
+        if args.command == "router":
+            return _command_router(args)
         if args.command == "client":
             return _command_client(args)
     except ReproError as error:

@@ -1,0 +1,109 @@
+"""A small consistent-hash ring for routing document keys to replicas.
+
+The router hashes collection ``doc_id`` targets onto replica endpoints so
+one document's reads keep landing on the same replica (warm buffer pool,
+warm plan memos) while the *set* of replicas may change under it.  The
+classic construction: every node owns ``replicas_per_node`` virtual points
+on a 2**32 ring (points and keys both placed by blake2b, which is stable
+across processes and Python versions -- unlike ``hash()``, which is
+per-process salted); a key belongs to the first node point clockwise from
+it.  Adding or removing one node therefore only moves the keys of the arcs
+it owns: roughly ``1/n`` of the keyspace, which is what keeps failover
+cheap -- when a replica dies, only its documents re-route.
+"""
+
+from __future__ import annotations
+
+import bisect
+from hashlib import blake2b
+
+__all__ = ["ConsistentHashRing"]
+
+#: Virtual points per node: enough to spread arcs evenly over a handful of
+#: replicas without making node changes expensive.
+DEFAULT_POINTS_PER_NODE = 64
+
+
+def _point(data: str) -> int:
+    """A stable position on the 2**32 ring for ``data``."""
+    digest = blake2b(data.encode("utf-8"), digest_size=4).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ConsistentHashRing:
+    """Maps string keys to member nodes with minimal movement on changes."""
+
+    def __init__(self, nodes=(), *, points_per_node: int = DEFAULT_POINTS_PER_NODE):
+        self.points_per_node = points_per_node
+        self._nodes: set[str] = set()
+        self._points: list[int] = []
+        self._owners: dict[int, str] = {}
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> set[str]:
+        return set(self._nodes)
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for index in range(self.points_per_node):
+            point = _point(f"{node}#{index}")
+            # Collisions are resolved deterministically in favour of the
+            # lexicographically smaller node, so every process that built
+            # the same ring routes the same keys the same way.
+            owner = self._owners.get(point)
+            if owner is None:
+                self._owners[point] = node
+                bisect.insort(self._points, point)
+            elif node < owner:
+                self._owners[point] = node
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        # Rebuild from the survivors: points this node had claimed from a
+        # colliding member must fall back to that member, and node changes
+        # are rare (failover, registration), so the O(nodes * points)
+        # rebuild is simpler than tracking collision chains.
+        survivors = sorted(self._nodes - {node})
+        self._points.clear()
+        self._owners.clear()
+        self._nodes.clear()
+        for survivor in survivors:
+            self.add(survivor)
+
+    def owner(self, key: str) -> str:
+        """The node owning ``key``; raises ``KeyError`` on an empty ring."""
+        if not self._points:
+            raise KeyError("the hash ring has no nodes")
+        point = _point(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):  # wrap around the ring
+            index = 0
+        return self._owners[self._points[index]]
+
+    def preference(self, key: str) -> list[str]:
+        """Every node, ordered by ring distance from ``key``.
+
+        The failover order: the owner first, then the nodes the key would
+        fall to as owners are removed -- without mutating the ring.
+        """
+        if not self._points:
+            return []
+        point = _point(key)
+        start = bisect.bisect_right(self._points, point)
+        seen: list[str] = []
+        for offset in range(len(self._points)):
+            node = self._owners[self._points[(start + offset) % len(self._points)]]
+            if node not in seen:
+                seen.append(node)
+        return seen

@@ -1,0 +1,587 @@
+"""``ArbRouter``: fan a JSON-lines query stream across replica servers.
+
+The router is the client-facing tier of the replication topology (``arb
+router``).  It speaks exactly the :mod:`repro.service.server` wire protocol
+on its listening port and forwards every line to one of the backend
+``ArbServer`` processes:
+
+* **reads** (``query`` ops) go to a replica.  A request carrying a
+  ``doc_id`` is routed by consistent hash
+  (:class:`~repro.replication.hashring.ConsistentHashRing`), so one
+  document's reads keep hitting the same replica's warm caches; requests
+  without one are round-robined, *pinned per burst* -- all queries a
+  connection has in flight together ride the same replica, so a client
+  burst coalesces into one scan pair there instead of splintering across
+  the fleet.  Snapshot reads never coordinate (the Bailis et al.
+  coordination-avoidance argument): every replica answers from its own
+  pinned generation, and read throughput scales with the replica count.
+* **writes** (``update`` ops) and every other explicit op are forwarded to
+  the owning *primary*, which commits the generation locally and ships the
+  resulting files to the replicas (see
+  :mod:`repro.replication.shipping`).
+
+Failover: a replica that drops its connection mid-request is marked down
+and the read is retried transparently on the next candidate (ring
+preference order, then the remaining replicas, then the primary itself) --
+reads are idempotent, so the client never sees the failure.  Updates are
+retried only when the router is certain the request was never sent; an
+update whose connection died *after* the send surfaces an explicit
+"outcome unknown" error instead of risking a double apply.
+
+Health and fencing: a background loop pings every backend with
+``replica_stats`` each ``ping_interval``.  A replica whose change counter
+is behind the primary's is **fenced** (excluded from read routing, so a
+stale snapshot is never served once staleness is observable) and
+re-registered with the primary, which ships the current generation as a
+catch-up; the next tick unfences it.  A dead replica is reconnected and
+re-registered the same way when it comes back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import ServiceError
+from repro.replication.hashring import ConsistentHashRing
+from repro.replication.shipping import DEFAULT_STREAM_LIMIT
+from repro.storage.generations import atomic_write_text
+
+__all__ = ["ArbRouter", "BackendUnavailableError", "route"]
+
+#: How often the health loop pings backends (seconds).
+DEFAULT_PING_INTERVAL = 0.5
+
+#: Per-request forwarding timeout (seconds): a wedged backend must turn
+#: into a retry on the next candidate, not a hung client.
+DEFAULT_REQUEST_TIMEOUT = 60.0
+
+
+class BackendUnavailableError(ServiceError):
+    """A backend connection failed; ``sent`` says whether the request left."""
+
+    def __init__(self, message: str, *, sent: bool):
+        self.sent = sent
+        super().__init__(message)
+
+
+class _Backend:
+    """One upstream ``ArbServer``: a multiplexed connection plus its health."""
+
+    def __init__(self, host: str, port: int, *, stream_limit: int):
+        self.host = host
+        self.port = int(port)
+        self.name = f"{host}:{port}"
+        self.stream_limit = stream_limit
+        #: Transport-level availability (connection up or presumed
+        #: re-openable) and replication-level freshness (a fenced replica is
+        #: alive but behind the primary, so reads must not see it).
+        self.healthy = True
+        self.fenced = False
+        #: The change counter the backend last reported via replica_stats.
+        self.counter = 0
+        self.generation = 0
+        self.requests = 0
+        self.failures = 0
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._read_task: asyncio.Task | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._next_id = 0
+        self._send_lock = asyncio.Lock()
+
+    # -- connection management ---------------------------------------- #
+
+    async def _ensure_connected(self) -> None:
+        if (
+            self._writer is not None
+            and not self._writer.is_closing()
+            # A dead read loop means replies can never arrive on this
+            # connection, even if the transport still accepts writes --
+            # a request sent over it would hang on its future.
+            and self._read_task is not None
+            and not self._read_task.done()
+        ):
+            return
+        await self._teardown()
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port, limit=self.stream_limit
+            )
+        except OSError as error:
+            raise BackendUnavailableError(
+                f"backend {self.name} is unreachable: {error}", sent=False
+            ) from error
+        self._read_task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        reader = self._reader
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    payload = json.loads(line)
+                except ValueError:
+                    continue  # a torn line cannot name a pending future
+                future = self._pending.pop(payload.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            self._fail_pending(f"backend {self.name} dropped the connection")
+
+    def _fail_pending(self, reason: str) -> None:
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(BackendUnavailableError(reason, sent=True))
+
+    async def _teardown(self) -> None:
+        if self._read_task is not None:
+            self._read_task.cancel()
+            try:
+                await self._read_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._read_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+            self._reader = None
+        self._fail_pending(f"backend {self.name} connection closed")
+
+    async def close(self) -> None:
+        await self._teardown()
+
+    # -- requests ------------------------------------------------------ #
+
+    async def request(
+        self, message: dict, *, timeout: float | None = DEFAULT_REQUEST_TIMEOUT
+    ) -> dict:
+        """Forward ``message`` (ids are rewritten) and await its reply."""
+        async with self._send_lock:
+            await self._ensure_connected()
+            wire_id = self._next_id
+            self._next_id += 1
+            future = asyncio.get_running_loop().create_future()
+            self._pending[wire_id] = future
+            outgoing = dict(message)
+            outgoing["id"] = wire_id
+            try:
+                self._writer.write(json.dumps(outgoing).encode("utf-8") + b"\n")
+                await self._writer.drain()
+            except (ConnectionError, OSError) as error:
+                self._pending.pop(wire_id, None)
+                await self._teardown()
+                raise BackendUnavailableError(
+                    f"backend {self.name} refused the request: {error}", sent=False
+                ) from error
+        self.requests += 1
+        try:
+            if timeout is None:
+                return await future
+            return await asyncio.wait_for(future, timeout)
+        except (asyncio.TimeoutError, TimeoutError):
+            self._pending.pop(wire_id, None)
+            raise BackendUnavailableError(
+                f"backend {self.name} did not answer within {timeout}s", sent=True
+            ) from None
+
+    def as_row(self) -> dict:
+        return {
+            "name": self.name,
+            "healthy": self.healthy,
+            "fenced": self.fenced,
+            "generation": self.generation,
+            "counter": self.counter,
+            "requests": self.requests,
+            "failures": self.failures,
+        }
+
+
+class ArbRouter:
+    """A consistent-hash / round-robin front door over replica servers."""
+
+    def __init__(
+        self,
+        primary: tuple[str, int],
+        replicas: list[tuple[str, int]],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ping_interval: float = DEFAULT_PING_INTERVAL,
+        request_timeout: float = DEFAULT_REQUEST_TIMEOUT,
+        register_replicas: bool = True,
+        stream_limit: int = DEFAULT_STREAM_LIMIT,
+    ):
+        self.host = host
+        self.port = port
+        self.ping_interval = ping_interval
+        self.request_timeout = request_timeout
+        self.register_replicas = register_replicas
+        self.stream_limit = stream_limit
+        self.primary = _Backend(*primary, stream_limit=stream_limit)
+        self._replicas = [
+            _Backend(*replica, stream_limit=stream_limit) for replica in replicas
+        ]
+        if not self._replicas:
+            raise ServiceError("a router needs at least one replica endpoint")
+        self._ring = ConsistentHashRing(backend.name for backend in self._replicas)
+        self._by_name = {backend.name: backend for backend in self._replicas}
+        self._round_robin = 0
+        self._primary_counter = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._health_task: asyncio.Task | None = None
+        self._retries = 0
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    async def start(self) -> tuple[str, int]:
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port, limit=self.stream_limit
+        )
+        self.host, self.port = self._server.sockets[0].getsockname()[:2]
+        if self.register_replicas:
+            await self._register_all()
+        self._health_task = asyncio.ensure_future(self._health_loop())
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for backend in [*self._replicas, self.primary]:
+            await backend.close()
+
+    async def __aenter__(self) -> "ArbRouter":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ServiceError("router is not started")
+        await self._server.serve_forever()
+
+    # -- registration and health ---------------------------------------- #
+
+    async def _register_all(self) -> None:
+        for backend in self._replicas:
+            await self._register_one(backend)
+
+    async def _register_one(self, backend: _Backend) -> bool:
+        """Tell the primary to ship to ``backend`` (catch-up included)."""
+        try:
+            reply = await self.primary.request(
+                {
+                    "op": "register_replica",
+                    "host": backend.host,
+                    "port": backend.port,
+                },
+                timeout=self.request_timeout,
+            )
+        except BackendUnavailableError:
+            return False
+        return bool(reply.get("ok"))
+
+    async def _health_loop(self) -> None:
+        while True:
+            try:
+                await self._health_tick()
+            except asyncio.CancelledError:
+                raise
+            except Exception:  # defensive: health must never kill the router
+                pass
+            await asyncio.sleep(self.ping_interval)
+
+    async def _health_tick(self) -> None:
+        try:
+            reply = await self.primary.request(
+                {"op": "replica_stats"}, timeout=self.ping_interval * 4
+            )
+            if reply.get("ok"):
+                self.primary.healthy = True
+                self.primary.counter = int(reply.get("counter", 0))
+                self.primary.generation = int(reply.get("generation", 0))
+                self._primary_counter = max(
+                    self._primary_counter, self.primary.counter
+                )
+        except BackendUnavailableError:
+            self.primary.healthy = False
+        for backend in self._replicas:
+            was_healthy = backend.healthy
+            try:
+                reply = await backend.request(
+                    {"op": "replica_stats"}, timeout=self.ping_interval * 4
+                )
+            except BackendUnavailableError:
+                self._mark_down(backend)
+                continue
+            if not reply.get("ok"):
+                if reply.get("error_type") == "ServiceClosedError":
+                    # Gracefully stopping: the transport still answers but
+                    # the service behind it is gone.
+                    self._mark_down(backend)
+                continue
+            backend.counter = int(reply.get("counter", 0))
+            backend.generation = int(reply.get("generation", 0))
+            if not was_healthy:
+                self._mark_up(backend)
+            if backend.counter < self._primary_counter:
+                # Behind the primary: fence it from serving reads and ask
+                # the primary for a catch-up ship; the next tick (or the
+                # install racing this tick) unfences it.
+                backend.fenced = True
+                await self._register_one(backend)
+            else:
+                backend.fenced = False
+
+    def _mark_down(self, backend: _Backend) -> None:
+        if backend is self.primary:
+            self.primary.healthy = False
+            return
+        if backend.healthy:
+            backend.healthy = False
+            backend.failures += 1
+        if backend.name in self._ring:
+            self._ring.remove(backend.name)
+
+    def _mark_up(self, backend: _Backend) -> None:
+        backend.healthy = True
+        if backend.name not in self._ring:
+            self._ring.add(backend.name)
+
+    # -- routing --------------------------------------------------------- #
+
+    def _serving(self, backend: _Backend) -> bool:
+        return backend.healthy and not backend.fenced
+
+    def _read_candidates(self, message: dict, state: dict) -> list[_Backend]:
+        """Replica preference order for one read, primary as last resort."""
+        serving = [b for b in self._replicas if self._serving(b)]
+        ordered: list[_Backend] = []
+        doc_id = message.get("doc_id")
+        if isinstance(doc_id, str) and serving:
+            for name in self._ring.preference(doc_id):
+                backend = self._by_name.get(name)
+                if backend is not None and self._serving(backend):
+                    ordered.append(backend)
+        else:
+            pinned = state.get("pinned")
+            if pinned is None or not self._serving(pinned):
+                # Claim the next round-robin slot for this burst *now*,
+                # synchronously: every other request the burst already has
+                # in flight sees the pin before the first reply returns, so
+                # the whole burst coalesces on one replica.
+                pinned = None
+                if serving:
+                    pinned = serving[self._round_robin % len(serving)]
+                    self._round_robin += 1
+                state["pinned"] = pinned
+            if pinned is not None:
+                ordered.append(pinned)
+        for backend in serving:  # failover order: every other live replica
+            if backend not in ordered:
+                ordered.append(backend)
+        ordered.append(self.primary)  # last resort: reads at the primary
+        return ordered
+
+    async def _route_read(self, message: dict, state: dict) -> dict:
+        first_error: BackendUnavailableError | None = None
+        for backend in self._read_candidates(message, state):
+            try:
+                reply = await backend.request(message, timeout=self.request_timeout)
+            except BackendUnavailableError as error:
+                # Reads are idempotent: mark the backend down and fail over
+                # to the next candidate, invisibly to the client.
+                self._mark_down(backend)
+                self._retries += 1
+                if first_error is None:
+                    first_error = error
+                continue
+            error_type = reply.get("error_type")
+            if not reply.get("ok") and error_type in (
+                "ServiceClosedError",
+                "ServiceOverloadedError",
+            ):
+                # A gracefully stopping server answers in-flight requests
+                # with ServiceClosedError before the transport drops; an
+                # overloaded one sheds load.  Either way another replica can
+                # answer this read -- only the closing one is marked down.
+                if error_type == "ServiceClosedError":
+                    self._mark_down(backend)
+                self._retries += 1
+                continue
+            if backend is not self.primary and not isinstance(
+                message.get("doc_id"), str
+            ):
+                # Re-pin the burst onto whoever actually answered, so its
+                # remaining requests follow the failover instead of
+                # re-walking the dead candidate.
+                state["pinned"] = backend
+            return reply
+        detail = f" (first failure: {first_error})" if first_error else ""
+        raise ServiceError(f"no replica or primary is reachable for this query{detail}")
+
+    async def _route_primary(self, message: dict) -> dict:
+        """Writes and explicit ops go to the primary; retry only unsent."""
+        try:
+            return await self.primary.request(message, timeout=self.request_timeout)
+        except BackendUnavailableError as error:
+            if error.sent and message.get("op") == "update":
+                raise ServiceError(
+                    "the primary dropped the connection after the update was "
+                    "sent; its outcome is unknown (check replica_stats before "
+                    "retrying)"
+                ) from error
+            # Never sent (or idempotent op): one reconnect-and-retry.
+            self._retries += 1
+            return await self.primary.request(message, timeout=self.request_timeout)
+
+    def _router_stats(self, request_id) -> dict:
+        return {
+            "id": request_id,
+            "ok": True,
+            "router": True,
+            "primary": self.primary.as_row(),
+            "replicas": [backend.as_row() for backend in self._replicas],
+            "primary_counter": self._primary_counter,
+            "retries": self._retries,
+        }
+
+    # -- the client-facing listener -------------------------------------- #
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        write_lock = asyncio.Lock()
+        #: Per-connection burst pinning: all requests in flight together ride
+        #: one replica, so a client burst coalesces there into one scan pair.
+        state: dict = {"pinned": None, "inflight": 0}
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                task = asyncio.ensure_future(
+                    self._handle_line(line, writer, write_lock, state)
+                )
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - client gone
+                pass
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        state: dict,
+    ) -> None:
+        request_id = None
+        try:
+            message = json.loads(line)
+            request_id = message.get("id")
+            payload = await self._dispatch(message, state)
+            payload["id"] = request_id
+        except ServiceError as error:
+            payload = {
+                "id": request_id,
+                "ok": False,
+                "error": str(error),
+                "error_type": type(error).__name__,
+            }
+        except Exception as error:  # malformed JSON, bad field types, ...
+            payload = {
+                "id": request_id,
+                "ok": False,
+                "error": f"bad request: {error}",
+                "error_type": type(error).__name__,
+            }
+        async with write_lock:
+            writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+            try:
+                await writer.drain()
+            except (ConnectionError, OSError):  # pragma: no cover - client gone
+                pass
+
+    async def _dispatch(self, message: dict, state: dict) -> dict:
+        op = message.get("op", "query")
+        if op == "ping":
+            return {"ok": True, "pong": True, "router": True}
+        if op == "router_stats":
+            return self._router_stats(message.get("id"))
+        forwarded = dict(message)
+        if op == "query":
+            # A new burst starts when the connection goes idle->busy; every
+            # request admitted while others are in flight shares the pin.
+            if state["inflight"] == 0:
+                state["pinned"] = None
+            state["inflight"] += 1
+            try:
+                return await self._route_read(forwarded, state)
+            finally:
+                state["inflight"] -= 1
+        return await self._route_primary(forwarded)
+
+
+async def route(
+    primary: tuple[str, int],
+    replicas: list[tuple[str, int]],
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8722,
+    ready_file: str | None = None,
+    **options,
+) -> None:
+    """Run a router until cancelled (``arb router``).
+
+    ``ready_file`` works exactly like ``arb serve``'s: one atomically
+    written ``host port`` line once the listener is bound.
+    """
+    router = ArbRouter(primary, replicas, host=host, port=port, **options)
+    bound_host, bound_port = await router.start()
+    print(
+        f"arb router: listening on {bound_host}:{bound_port} "
+        f"(primary {router.primary.name}, "
+        f"{len(router._replicas)} replicas)",
+        flush=True,
+    )
+    if ready_file:
+        atomic_write_text(ready_file, f"{bound_host} {bound_port}\n")
+    try:
+        await router.serve_forever()
+    except asyncio.CancelledError:  # pragma: no cover - interactive shutdown
+        pass
+    finally:
+        await router.stop()

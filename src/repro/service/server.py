@@ -23,6 +23,42 @@ demultiplexer over one :class:`QueryService`.  The same holds for
 ``update`` requests when the service runs with a positive write window
 (``arb serve --write-window``): concurrent update lines ride one group
 commit and share its single WAL append / fsync pair.
+
+Replication ops
+---------------
+On-disk database targets additionally speak the generation-shipping
+replication protocol (see :mod:`repro.replication`).  Query and update
+responses carry the served snapshot's ``generation`` and change
+``counter`` so routers and clients can reason about freshness, and three
+ops drive the replication channel itself::
+
+    {"op": "register_replica", "host": "127.0.0.1", "port": 9001}
+    {"op": "install_generation", "snapshot": {...}}
+    {"op": "replica_stats"}
+
+``register_replica`` tells a *primary* to ship every future committed
+generation to the given replica server; the current generation is shipped
+immediately as a catch-up (installation on the replica is idempotent, so
+re-registering is always safe).  With ``replication_mode="sync"`` (``arb
+serve --replicate sync``) the primary ships *before* acknowledging an
+update and the ack carries the fan-out report under ``"replication"``;
+with the default ``"async"`` mode the ack returns first and shipping runs
+in a background task.
+
+``install_generation`` is the replica-side op: ``snapshot`` is the payload
+of :func:`repro.storage.generations.export_generation` -- the pointer
+payload plus every generation file wrapped in the WAL's checksummed ARBW
+frame and base64-encoded.  The replica verifies every frame, writes the
+files with the temp+fsync+replace discipline, swaps its pointer
+atomically, refreshes its served snapshot, and answers ``{"ok": true,
+"installed": true, "generation": N, "counter": C}`` (``"installed":
+false`` for a stale or already-installed snapshot -- the op is
+idempotent).
+
+``replica_stats`` reports the serving snapshot's ``generation``/
+``counter`` plus, on a primary, the per-replica shipping ledger
+(``acked_counter``, ships, failures, last error) -- the router's health
+and fencing signal.
 """
 
 from __future__ import annotations
@@ -34,11 +70,15 @@ import os
 from repro.collection.collection import Collection
 from repro.collection.manifest import MANIFEST_NAME
 from repro.engine import Database
-from repro.errors import ReproError, ServiceError
+from repro.errors import ReproError, ServiceClosedError, ServiceError
+from repro.replication.shipping import DEFAULT_STREAM_LIMIT, ReplicaSet
 from repro.service.request import ServiceResponse
 from repro.service.service import QueryService
 from repro.storage.bufferpool import resolve_pager
-from repro.storage.generations import atomic_write_text
+from repro.storage.generations import (
+    atomic_write_text,
+    install_generation,
+)
 
 __all__ = ["ArbServer", "open_target", "request_many", "serve"]
 
@@ -49,14 +89,28 @@ def open_target(path: str, pager_mode: str | None = None) -> Database | Collecti
     ``pager_mode`` selects the scan path for an `.arb` target (collections
     resolve it per shard at query time, XML targets are in memory).
     """
-    if os.path.isdir(path) and os.path.exists(os.path.join(path, MANIFEST_NAME)):
-        return Collection.open(path)
+    if os.path.isdir(path):
+        if os.path.exists(os.path.join(path, MANIFEST_NAME)):
+            return Collection.open(path)
+        # Falling through to Database.open would surface a confusing
+        # pointer-file error about "<dir>.arb"; say what was expected.
+        raise ServiceError(
+            f"cannot serve {path}: it is a directory without a collection "
+            f"manifest ({MANIFEST_NAME}); expected a collection root, an "
+            f".arb base path, or an .xml file"
+        )
     if path.endswith(".xml"):
         return Database.from_xml_file(path)
     return Database.open(path, pager=resolve_pager(pager_mode))
 
 
-def _response_payload(request_id, response: ServiceResponse, *, ids: bool) -> dict:
+def _response_payload(
+    request_id,
+    response: ServiceResponse,
+    *,
+    ids: bool,
+    version: tuple[int, int] | None = None,
+) -> dict:
     arb_io = response.batch_arb_io
     payload = {
         "id": request_id,
@@ -70,6 +124,10 @@ def _response_payload(request_id, response: ServiceResponse, *, ids: bool) -> di
         "evaluation_seconds": round(response.evaluation_seconds, 6),
         "arb_pages_read": arb_io.pages_read if arb_io is not None else 0,
     }
+    if version is not None:
+        # The served snapshot's generation and change counter: the freshness
+        # signal routers use to fence stale replicas.
+        payload["generation"], payload["counter"] = version
     if ids:
         selected = response.selected_nodes()
         if not isinstance(selected, list):  # collection: per-document mapping
@@ -88,18 +146,31 @@ class ArbServer:
         *,
         host: str = "127.0.0.1",
         port: int = 0,
+        replication_mode: str = "async",
+        stream_limit: int = DEFAULT_STREAM_LIMIT,
         **service_options,
     ):
+        if replication_mode not in ("async", "sync"):
+            raise ServiceError(
+                f"replication_mode must be 'async' or 'sync', "
+                f"not {replication_mode!r}"
+            )
         self.service = QueryService(target, **service_options)
         self.host = host
         self.port = port
+        self.replication_mode = replication_mode
+        self.stream_limit = stream_limit
+        #: Replicas registered through ``register_replica``; empty until a
+        #: router (or operator) makes this server a primary.
+        self.replicas = ReplicaSet()
+        self._ship_tasks: set[asyncio.Task] = set()
         self._server: asyncio.AbstractServer | None = None
 
     async def start(self) -> tuple[str, int]:
         """Start service + listener; returns the bound ``(host, port)``."""
         await self.service.start()
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, limit=self.stream_limit
         )
         self.host, self.port = self._server.sockets[0].getsockname()[:2]
         return self.host, self.port
@@ -109,6 +180,10 @@ class ArbServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._ship_tasks:
+            # Let async generation ships finish: a replica must not miss the
+            # last committed generation just because the primary shut down.
+            await asyncio.gather(*self._ship_tasks, return_exceptions=True)
         await self.service.stop()
 
     async def serve_forever(self) -> None:
@@ -201,6 +276,12 @@ class ArbServer:
             }
         if op == "update":
             return await self._answer_update(message, request_id)
+        if op == "register_replica":
+            return await self._answer_register_replica(message, request_id)
+        if op == "install_generation":
+            return await self._answer_install_generation(message, request_id)
+        if op == "replica_stats":
+            return self._answer_replica_stats(request_id)
         if op != "query":
             raise ServiceError(f"unknown op {op!r}")
         query = message.get("query")
@@ -211,7 +292,108 @@ class ArbServer:
             language=message.get("language", "tmnf"),
             query_predicate=message.get("query_predicate"),
         )
-        return _response_payload(request_id, response, ids=bool(message.get("ids")))
+        return _response_payload(
+            request_id,
+            response,
+            ids=bool(message.get("ids")),
+            version=self._target_version(),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Replication (generation shipping)
+    # ------------------------------------------------------------------ #
+
+    def _target_version(self) -> tuple[int, int] | None:
+        """The served snapshot's ``(generation, change_counter)``.
+
+        ``None`` for targets without a generation lineage (in-memory XML,
+        collections -- the latter version per document, not per target).
+        """
+        target = self.service.target
+        if isinstance(target, Database) and target.is_on_disk:
+            return target.generation, target.disk.change_counter
+        return None
+
+    def _replicated_base_path(self) -> str:
+        target = self.service.target
+        if isinstance(target, Database) and target.is_on_disk:
+            return target.disk.logical_base_path
+        raise ServiceError(
+            "generation shipping needs an on-disk .arb database target "
+            "(in-memory XML and collection targets have no generation files "
+            "to ship)"
+        )
+
+    async def _answer_register_replica(self, message: dict, request_id) -> dict:
+        host = message.get("host")
+        port = message.get("port")
+        if not isinstance(host, str) or not isinstance(port, int):
+            raise ServiceError(
+                "register_replica needs 'host' (a string) and 'port' (an integer)"
+            )
+        base_path = self._replicated_base_path()
+        self.replicas.register(host, port)
+        # Catch-up ship: the freshly (re-)registered replica gets the current
+        # generation immediately.  Installation is idempotent on the replica,
+        # so a router can re-register a lagging replica to force a catch-up.
+        report = await self.replicas.ship_current(base_path, only=(host, port))
+        return {
+            "id": request_id,
+            "ok": True,
+            "registered": len(self.replicas),
+            "ship": report,
+        }
+
+    async def _answer_install_generation(self, message: dict, request_id) -> dict:
+        snapshot = message.get("snapshot")
+        if not isinstance(snapshot, dict):
+            raise ServiceError("install_generation needs a 'snapshot' object")
+        base_path = self._replicated_base_path()
+        # Install and refresh both run on the service's single evaluation
+        # worker, so the pointer swap and the snapshot advance serialise
+        # against in-flight batches: a batch is evaluated entirely before or
+        # entirely after the installed generation, never across it.
+        result = await self.service.run_on_worker(
+            install_generation, base_path, snapshot
+        )
+        generation, counter = await self.service.refresh_target()
+        return {
+            "id": request_id,
+            "ok": True,
+            "installed": bool(result.get("installed")),
+            "generation": generation,
+            "counter": counter,
+        }
+
+    def _answer_replica_stats(self, request_id) -> dict:
+        if not self.service.is_running:
+            # A stopping server must not advertise itself as a healthy
+            # replica: routers use this op as the health/fencing probe.
+            raise ServiceClosedError("the query service is not running")
+        version = self._target_version()
+        generation, counter = version if version is not None else (0, 0)
+        return {
+            "id": request_id,
+            "ok": True,
+            "generation": generation,
+            "counter": counter,
+            "replication_mode": self.replication_mode,
+            "replicas_registered": len(self.replicas),
+            "replicas": self.replicas.as_rows(),
+            "pending_ships": len(self._ship_tasks),
+        }
+
+    def _spawn_ship(self, base_path: str) -> None:
+        """Ship the current generation in the background (async mode)."""
+        task = asyncio.ensure_future(self._ship_quietly(base_path))
+        self._ship_tasks.add(task)
+        task.add_done_callback(self._ship_tasks.discard)
+
+    async def _ship_quietly(self, base_path: str) -> None:
+        try:
+            await self.replicas.ship_current(base_path)
+        except ReproError:  # per-replica errors are already recorded;
+            pass  # an export error must not leak into asyncio's handler
 
     async def _answer_update(self, message: dict, request_id) -> dict:
         from repro.storage.update import GroupCommitResult, op_from_spec
@@ -237,6 +419,15 @@ class ArbServer:
         }
         if isinstance(last, GroupCommitResult):
             payload["group_size"] = last.n_ops
+        if len(self.replicas) and message.get("doc_id") is None:
+            # This server is a primary: propagate the committed generation.
+            # Sync mode ships before the ack (the ack carries the fan-out
+            # report); async mode acks first and ships in the background.
+            base_path = self._replicated_base_path()
+            if self.replication_mode == "sync":
+                payload["replication"] = await self.replicas.ship_current(base_path)
+            else:
+                self._spawn_ship(base_path)
         return payload
 
 
@@ -303,7 +494,21 @@ async def request_many(
             if not line:
                 raise ServiceError("server closed the connection mid-burst")
             payload = json.loads(line)
-            answers[payload.get("id")] = payload
+            # A reply must name one of the ids still outstanding.  An id-less
+            # reply (the server failed before it could parse the id -- e.g. a
+            # malformed line corrupted the stream) or an alien id would
+            # otherwise be buried under a wrong key and hang this loop on the
+            # missing answer; surface it as a clean protocol error instead.
+            reply_id = payload.get("id")
+            if not isinstance(reply_id, int) or not (
+                0 <= reply_id < len(prepared) and reply_id not in answers
+            ):
+                detail = payload.get("error") or json.dumps(payload)
+                raise ServiceError(
+                    f"server sent an unsolicited or id-less reply "
+                    f"(id={reply_id!r}): {detail}"
+                )
+            answers[reply_id] = payload
         ordered = []
         for index, message in enumerate(messages):
             payload = answers[index]

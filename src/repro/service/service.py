@@ -391,6 +391,35 @@ class QueryService:
             self._write_full.set()
         return await pending.future
 
+    async def run_on_worker(self, fn, *args):
+        """Run ``fn(*args)`` on the single evaluation worker thread.
+
+        Everything that runs here serialises against batch evaluation and
+        updates by construction -- the replication install path uses it so
+        a shipped generation can never land in the middle of a batch scan.
+        """
+        if not self._running:
+            raise ServiceClosedError("the query service is not running")
+        return await self._loop.run_in_executor(self._pool, fn, *args)
+
+    async def refresh_target(self) -> tuple[int, int]:
+        """Re-resolve the served database's generation pointer.
+
+        Runs on the evaluation worker (so a batch is never split across
+        generations) and returns the ``(generation, change_counter)`` the
+        target is pinned to afterwards.  The replica side of generation
+        shipping calls this after installing a snapshot; in-memory and
+        collection targets are a no-op at ``(0, 0)``.
+        """
+        return await self.run_on_worker(self._refresh_target_on_worker)
+
+    def _refresh_target_on_worker(self) -> tuple[int, int]:
+        target = self.target
+        if isinstance(target, Database) and target.is_on_disk:
+            target.refresh()
+            return target.generation, target.disk.change_counter
+        return 0, 0
+
     def apply_threadsafe(
         self,
         update,
@@ -546,8 +575,18 @@ class QueryService:
 
     def _apply_group(self, group: list[_PendingWrite]) -> list[tuple]:
         """Commit one write group (worker thread); per-writer outcomes."""
-        retains = [pending.retain_generations for pending in group]
-        retain = max(retains) if all(r is not None for r in retains) else None
+        # Retention resolves per rider: ``None`` means "the default" and
+        # contributes no constraint, and the riders that *did* ask for
+        # pruning get the most conservative of their answers (max keeps the
+        # most history).  Requiring every rider to be explicit would let a
+        # single defaulted rider silently discard the whole group's
+        # retention.
+        explicit = [
+            pending.retain_generations
+            for pending in group
+            if pending.retain_generations is not None
+        ]
+        retain = max(explicit) if explicit else None
         if len(group) == 1:
             # A lone writer in its window keeps the per-update commit path
             # (and its historical result types).

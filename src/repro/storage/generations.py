@@ -53,12 +53,15 @@ from repro.storage.durability import (
 __all__ = [
     "GenerationPointer",
     "POINTER_SUFFIX",
+    "atomic_write_bytes",
     "atomic_write_text",
     "creation_counter_of",
     "exclusive_writer",
+    "export_generation",
     "fsync_directory",
     "generation_base",
     "generation_of_base",
+    "install_generation",
     "list_generations",
     "logical_base_of",
     "pointer_path",
@@ -258,6 +261,161 @@ def atomic_write_text(
     os.replace(temp_path, path)
     fsync_directory(os.path.dirname(path) or ".")
     return path
+
+
+def atomic_write_bytes(
+    path: str,
+    data: bytes,
+    *,
+    fault_name: str | None = None,
+) -> str:
+    """:func:`atomic_write_text` for binary content (same protocol).
+
+    Used by the replication install path for the shipped ``.arb`` and
+    ``.idx`` files: a replica crash mid-install leaves either the complete
+    old file or the complete new one, never a torn page grid.
+    """
+    temp_path = path + ".tmp"
+    with open(temp_path, "wb") as handle:
+        handle.write(data)
+        fsync_file(handle)
+    if fault_name is not None:
+        fault_point(fault_name)
+    os.replace(temp_path, path)
+    fsync_directory(os.path.dirname(path) or ".")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# Generation shipping (replication)
+# ---------------------------------------------------------------------- #
+
+
+def export_generation(base_path: str) -> dict:
+    """The current generation of ``base_path`` as one JSON-able snapshot.
+
+    The snapshot is the unit the replication channel ships: the pointer
+    payload (including any embedded group-commit sidecar) plus every
+    generation file, each wrapped in the WAL's checksummed ARBW frame
+    (:func:`repro.storage.wal.frame_record`) and base64-encoded so the
+    whole snapshot travels as one JSON line.  The ``.idx`` sidecar is
+    optional exactly like on open; ``.arb``/``.lab``/``.meta`` must exist.
+    """
+    import base64
+
+    from repro.storage.wal import frame_record
+
+    base_path = resolve_logical_base(logical_base_of(base_path))
+    pointer = read_pointer(base_path)
+    payload = read_pointer_payload(base_path) or {
+        "generation": pointer.generation,
+        "counter": pointer.counter,
+    }
+    gen_base = generation_base(base_path, pointer.generation)
+    files: dict[str, str] = {}
+    for suffix in GENERATION_FILE_SUFFIXES:
+        try:
+            with open(gen_base + suffix, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            if suffix == ".idx":  # optional sidecar, absent on small bases
+                continue
+            raise StorageError(
+                f"cannot export generation {pointer.generation} of {base_path}: "
+                f"missing {gen_base + suffix}"
+            ) from None
+        files[suffix] = base64.b64encode(frame_record(data)).decode("ascii")
+    return {
+        "generation": pointer.generation,
+        "counter": pointer.counter,
+        "pointer": payload,
+        "files": files,
+    }
+
+
+def install_generation(base_path: str, snapshot: dict) -> dict:
+    """Atomically install a shipped generation snapshot at ``base_path``.
+
+    The replica-side half of generation shipping.  Every file frame is
+    checksum-verified *before* anything touches disk (a torn transfer
+    installs nothing), the files are written with the temp + fsync +
+    ``os.replace`` discipline of :func:`atomic_write_bytes`, their dirents
+    are fsynced, and only then does the pointer swap commit the new
+    generation -- the same crash story as a local group commit.  Readers
+    pinned to the old generation keep their files: a shipped generation
+    arrives under fresh ``.g<N>`` names.
+
+    Installation is idempotent and monotonic: a snapshot whose change
+    counter is not ahead of the local pointer is skipped (``installed:
+    False``), unless the local current generation's ``.arb`` is missing
+    (a bootstrapping replica directory), in which case the snapshot is
+    installed regardless.
+    """
+    import base64
+
+    from repro.storage.wal import parse_record
+
+    try:
+        generation = int(snapshot["generation"])
+        counter = int(snapshot["counter"])
+        files = snapshot["files"]
+        if not isinstance(files, dict) or not files:
+            raise TypeError
+    except (KeyError, TypeError, ValueError):
+        raise StorageError(
+            f"malformed generation snapshot for {base_path}: needs integer "
+            f"generation/counter and a non-empty files mapping"
+        ) from None
+    missing = {".arb", ".lab", ".meta"} - set(files)
+    if missing:
+        raise StorageError(
+            f"generation snapshot for {base_path} is missing {sorted(missing)}"
+        )
+    base_path = resolve_logical_base(logical_base_of(base_path))
+    with exclusive_writer(base_path):
+        local = read_pointer(base_path)
+        local_arb = generation_base(base_path, local.generation) + ".arb"
+        if counter <= local.counter and os.path.exists(local_arb):
+            return {
+                "installed": False,
+                "generation": local.generation,
+                "counter": local.counter,
+            }
+        gen_base = generation_base(base_path, generation)
+        decoded: dict[str, bytes] = {}
+        for suffix, encoded in files.items():
+            if suffix not in GENERATION_FILE_SUFFIXES:
+                raise StorageError(
+                    f"generation snapshot for {base_path} names an unknown "
+                    f"file suffix {suffix!r}"
+                )
+            try:
+                framed = base64.b64decode(encoded, validate=True)
+            except (TypeError, ValueError) as error:
+                raise StorageError(
+                    f"undecodable replication frame for {gen_base + suffix}: {error}"
+                ) from None
+            data = parse_record(framed)
+            if data is None:
+                raise StorageError(
+                    f"torn replication frame for {gen_base + suffix} "
+                    f"(bad magic, length or checksum); refusing to install"
+                )
+            decoded[suffix] = data
+        for suffix, data in decoded.items():
+            atomic_write_bytes(gen_base + suffix, data)
+        pointer_payload = snapshot.get("pointer")
+        sidecar = None
+        if isinstance(pointer_payload, dict):
+            embedded = pointer_payload.get("sidecar")
+            if isinstance(embedded, dict):
+                sidecar = embedded
+        write_pointer(
+            base_path,
+            GenerationPointer(generation=generation, counter=counter),
+            sidecar=sidecar,
+        )
+        return {"installed": True, "generation": generation, "counter": counter}
 
 
 #: Memo for :func:`creation_counter_of`: meta path -> (fingerprint, counter).

@@ -66,7 +66,9 @@ __all__ = [
     "append_group",
     "clear_wal",
     "deserialize_op",
+    "frame_record",
     "has_pending",
+    "parse_record",
     "payload_to_tree",
     "read_group",
     "recover_base",
@@ -186,6 +188,36 @@ def deserialize_op(payload: dict):
 # ---------------------------------------------------------------------- #
 
 
+def frame_record(data: bytes) -> bytes:
+    """Wrap ``data`` in the checksummed ARBW frame (magic, length, crc32).
+
+    The frame is what makes a record self-validating: a reader that gets a
+    truncated or bit-flipped copy detects it from the length/checksum and
+    treats the record as absent.  The WAL uses it for the group-intent
+    record on disk; the replication channel uses the same frame around
+    every shipped generation file, so a torn transfer can never be
+    installed on a replica.
+    """
+    return _MAGIC + _FRAME.pack(len(data), zlib.crc32(data) & 0xFFFFFFFF) + data
+
+
+def parse_record(raw: bytes) -> bytes | None:
+    """The payload of one ARBW frame; ``None`` for anything torn or alien.
+
+    Exactly the validation :func:`read_group` applies to the on-disk log:
+    magic, declared length and crc32 must all check out, otherwise the
+    record never becomes visible to the caller.
+    """
+    header_size = len(_MAGIC) + _FRAME.size
+    if len(raw) < header_size or raw[: len(_MAGIC)] != _MAGIC:
+        return None
+    length, checksum = _FRAME.unpack_from(raw, len(_MAGIC))
+    data = raw[header_size : header_size + length]
+    if len(data) != length or zlib.crc32(data) & 0xFFFFFFFF != checksum:
+        return None
+    return data
+
+
 def append_group(
     base_path: str,
     *,
@@ -213,9 +245,7 @@ def append_group(
     }
     data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     with open(wal_path(base_path), "wb") as handle:
-        handle.write(_MAGIC)
-        handle.write(_FRAME.pack(len(data), zlib.crc32(data) & 0xFFFFFFFF))
-        handle.write(data)
+        handle.write(frame_record(data))
         fault_point("wal-append")
         fsync_file(handle)
     count_wal_append()
@@ -234,12 +264,8 @@ def read_group(base_path: str) -> dict | None:
             raw = handle.read()
     except OSError:
         return None
-    header_size = len(_MAGIC) + _FRAME.size
-    if len(raw) < header_size or raw[: len(_MAGIC)] != _MAGIC:
-        return None
-    length, checksum = _FRAME.unpack_from(raw, len(_MAGIC))
-    data = raw[header_size : header_size + length]
-    if len(data) != length or zlib.crc32(data) & 0xFFFFFFFF != checksum:
+    data = parse_record(raw)
+    if data is None:
         return None
     try:
         payload = json.loads(data.decode("utf-8"))

@@ -332,6 +332,42 @@ def test_service_write_window_zero_keeps_per_update_commits(tmp_path):
     assert len(list_generations(base)) == 1 + len(GROUP)
 
 
+def test_service_mixed_group_keeps_explicit_retention(tmp_path):
+    """Regression: a rider with an explicit ``retain_generations`` riding in
+    a group with default-retention riders must still get its pruning.
+
+    The old resolution (``max(retains) if all(r is not None) else None``)
+    discarded retention for the whole group as soon as one rider used the
+    default -- the common case, since most writers never pass it.
+    """
+    import asyncio
+
+    from repro.service import QueryService
+
+    base = _build(tmp_path)
+    # An intermediate generation for the pruning to bite on (generation 0,
+    # the original build, is never pruned).
+    apply_update(base, Relabel(1, "pre"))
+    database = Database.open(base)
+
+    async def main():
+        async with QueryService(database, write_window=0.05,
+                                max_write_batch=8) as service:
+            return await asyncio.gather(
+                service.apply(Relabel(1, "tome")),  # default retention
+                service.apply(Relabel(2, "x"), retain_generations=1),
+                service.apply(Relabel(3, "y")),  # default retention
+            )
+
+    results = asyncio.run(main())
+    # One shared group commit...
+    assert all(result is results[0] for result in results)
+    assert isinstance(results[0], GroupCommitResult)
+    # ...whose explicit rider's retention was honoured: the intermediate
+    # generation is pruned, leaving only the original build and the newest.
+    assert list_generations(base) == [0, results[0].new_generation]
+
+
 def test_service_isolates_a_poisoned_update_in_a_group(tmp_path):
     import asyncio
 

@@ -1,0 +1,512 @@
+"""Unit and in-process tests of the generation-shipping replication tier.
+
+Covers the consistent-hash ring, the export/install snapshot round-trip,
+the primary's replication wire ops, the router's routing and failover
+behaviour, and the service-layer bugfixes that rode along (id-less reply
+handling in ``request_many``, the ``open_target`` directory diagnostic).
+The multi-process kill/restart soak lives in ``test_replication_soak.py``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import glob
+import json
+import shutil
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import ServiceError, StorageError
+from repro.plan.cache import PlanCache
+from repro.replication import ArbRouter, ConsistentHashRing, ReplicaSet
+from repro.service import ArbServer, request_many
+from repro.service.server import open_target
+from repro.storage.build import build_database
+from repro.storage.generations import (
+    export_generation,
+    install_generation,
+    read_pointer,
+)
+from repro.storage.update import Relabel
+
+DOCUMENT = "<lib><book><t>x</t></book><book><t>y</t></book><dvd/></lib>"
+
+
+# --------------------------------------------------------------------- #
+# Consistent-hash ring
+# --------------------------------------------------------------------- #
+
+
+def test_hashring_is_deterministic_across_instances():
+    nodes = ["10.0.0.1:8723", "10.0.0.2:8723", "10.0.0.3:8723"]
+    ring_a = ConsistentHashRing(nodes)
+    ring_b = ConsistentHashRing(reversed(nodes))
+    keys = [f"doc-{i}" for i in range(200)]
+    assert [ring_a.owner(k) for k in keys] == [ring_b.owner(k) for k in keys]
+
+
+def test_hashring_minimal_movement_on_node_removal():
+    nodes = [f"replica-{i}" for i in range(4)]
+    ring = ConsistentHashRing(nodes)
+    keys = [f"doc-{i}" for i in range(400)]
+    before = {k: ring.owner(k) for k in keys}
+    ring.remove("replica-2")
+    after = {k: ring.owner(k) for k in keys}
+    # Keys owned by survivors must not move; the removed node's keys spread.
+    for key in keys:
+        if before[key] != "replica-2":
+            assert after[key] == before[key]
+        else:
+            assert after[key] != "replica-2"
+    moved = sum(1 for k in keys if before[k] != after[k])
+    assert 0 < moved < len(keys) / 2  # roughly 1/4 of the keyspace
+
+
+def test_hashring_add_back_restores_ownership():
+    nodes = [f"replica-{i}" for i in range(3)]
+    ring = ConsistentHashRing(nodes)
+    keys = [f"doc-{i}" for i in range(200)]
+    before = {k: ring.owner(k) for k in keys}
+    ring.remove("replica-1")
+    ring.add("replica-1")
+    assert {k: ring.owner(k) for k in keys} == before
+
+
+def test_hashring_preference_order_predicts_failover():
+    ring = ConsistentHashRing([f"replica-{i}" for i in range(3)])
+    for key in ("doc-a", "doc-b", "doc-c"):
+        order = ring.preference(key)
+        assert order[0] == ring.owner(key)
+        assert sorted(order) == sorted(ring.nodes)
+        # Removing the owner promotes exactly the next preference.
+        ring.remove(order[0])
+        assert ring.owner(key) == order[1]
+        ring.add(order[0])
+
+
+def test_hashring_empty_ring_raises():
+    ring = ConsistentHashRing()
+    with pytest.raises(KeyError):
+        ring.owner("anything")
+    assert ring.preference("anything") == []
+
+
+def test_hashring_spreads_keys_reasonably():
+    ring = ConsistentHashRing([f"replica-{i}" for i in range(4)])
+    counts: dict[str, int] = {}
+    for i in range(1000):
+        counts[ring.owner(f"doc-{i}")] = counts.get(ring.owner(f"doc-{i}"), 0) + 1
+    assert len(counts) == 4
+    assert min(counts.values()) > 1000 / 4 / 4  # no starving node
+
+
+# --------------------------------------------------------------------- #
+# Export / install snapshot round-trip
+# --------------------------------------------------------------------- #
+
+
+def _build_pair(tmp_path):
+    """A primary base with one committed update, and an empty replica dir."""
+    primary = str(tmp_path / "primary" / "db")
+    (tmp_path / "primary").mkdir()
+    build_database(DOCUMENT, primary)
+    replica_dir = tmp_path / "replica"
+    replica_dir.mkdir()
+    return primary, str(replica_dir / "db")
+
+
+def test_export_install_round_trip(tmp_path):
+    primary, replica = _build_pair(tmp_path)
+    snapshot = export_generation(primary)
+    assert set(snapshot["files"]) >= {".arb", ".lab", ".meta"}
+    report = install_generation(replica, snapshot)
+    assert report["installed"]
+    pointer = read_pointer(replica)
+    assert (pointer.generation, pointer.counter) == (
+        snapshot["generation"],
+        snapshot["counter"],
+    )
+    # The replica must answer queries identically to the primary.
+    with Database.open(replica) as mirror, Database.open(primary) as original:
+        assert (
+            mirror.query("//book", language="xpath").selected_nodes()
+            == original.query("//book", language="xpath").selected_nodes()
+        )
+
+
+def test_install_is_idempotent_and_refuses_stale(tmp_path):
+    primary, replica = _build_pair(tmp_path)
+    snapshot = export_generation(primary)
+    assert install_generation(replica, snapshot)["installed"]
+    # Same counter again: skipped, not rewritten.
+    assert not install_generation(replica, snapshot)["installed"]
+    # Move the primary forward; the replica must accept the newer snapshot
+    # and then refuse the stale one.
+    with Database.open(primary) as database:
+        database.apply(Relabel(2, "tome"))
+    newer = export_generation(primary)
+    assert newer["counter"] > snapshot["counter"]
+    assert install_generation(replica, newer)["installed"]
+    assert not install_generation(replica, snapshot)["installed"]
+    pointer = read_pointer(replica)
+    assert pointer.counter == newer["counter"]
+
+
+def test_install_rejects_torn_frames_before_touching_disk(tmp_path):
+    primary, replica = _build_pair(tmp_path)
+    snapshot = export_generation(primary)
+    torn = dict(snapshot, files=dict(snapshot["files"]))
+    frame = bytearray(base64.b64decode(torn["files"][".arb"]))
+    frame[len(frame) // 2] ^= 0xFF  # flip one payload bit
+    torn["files"][".arb"] = base64.b64encode(bytes(frame)).decode("ascii")
+    with pytest.raises(StorageError):
+        install_generation(replica, torn)
+    # No generation data may have been written: the torn frame was detected
+    # up front (only the writer-exclusion lock file is allowed to exist).
+    leftovers = [p for p in glob.glob(replica + "*") if not p.endswith(".lock")]
+    assert not leftovers
+
+
+def test_install_rejects_malformed_snapshots(tmp_path):
+    primary, replica = _build_pair(tmp_path)
+    snapshot = export_generation(primary)
+    for broken in (
+        {},
+        dict(snapshot, files={}),
+        dict(snapshot, files={".arb": snapshot["files"][".arb"]}),
+        dict(snapshot, counter="not-a-number"),
+        dict(snapshot, files=dict(snapshot["files"], **{".evil": "AAAA"})),
+    ):
+        with pytest.raises(StorageError):
+            install_generation(replica, broken)
+
+
+# --------------------------------------------------------------------- #
+# Primary-side wire ops
+# --------------------------------------------------------------------- #
+
+
+def _open_served(base):
+    database = Database.open(base)
+    database.plan_cache = PlanCache()
+    return database
+
+
+def _clone_base(primary, directory):
+    directory.mkdir()
+    for path in glob.glob(primary + "*"):
+        shutil.copy(path, directory)
+    return str(directory / "db")
+
+
+def test_register_replica_ships_catch_up_and_reports(tmp_path):
+    primary_base, _ = _build_pair(tmp_path)
+    replica_base = _clone_base(primary_base, tmp_path / "r0")
+
+    async def scenario():
+        async with (
+            ArbServer(_open_served(primary_base), replication_mode="sync") as primary,
+            ArbServer(_open_served(replica_base)) as replica,
+        ):
+            register, stats = await request_many(primary.host, primary.port, [
+                {"op": "register_replica", "host": replica.host,
+                 "port": replica.port},
+                {"op": "replica_stats"},
+            ])
+            update = (await request_many(primary.host, primary.port, [
+                {"op": "update",
+                 "ops": [{"kind": "relabel", "node": 2, "label": "tome"}]},
+            ]))[0]
+            replica_reads = await request_many(replica.host, replica.port, [
+                {"query": "//tome", "language": "xpath"},
+            ])
+            return register, stats, update, replica_reads[0]
+
+    register, stats, update, replica_read = asyncio.run(scenario())
+    assert register["ok"] and register["registered"] == 1
+    # Registration shipped the current generation as an idempotent catch-up
+    # (the clone was already current, so the install was a no-op skip).
+    assert register["ship"]["failed"] == 0
+    assert stats["ok"] and stats["replication_mode"] == "sync"
+    # Sync mode: the update ack carries the fan-out report...
+    assert update["ok"] and update["replication"]["shipped"] == 1
+    # ...and by ack time the replica serves the new generation.
+    assert replica_read["ok"] and replica_read["count"] == 1
+    assert replica_read["counter"] == update["counter"]
+
+
+def test_install_generation_wire_op_refreshes_served_snapshot(tmp_path):
+    primary_base, _ = _build_pair(tmp_path)
+    replica_base = _clone_base(primary_base, tmp_path / "r0")
+    with Database.open(primary_base) as database:
+        database.apply(Relabel(2, "tome"))
+    snapshot = export_generation(primary_base)
+
+    async def scenario():
+        async with ArbServer(_open_served(replica_base)) as replica:
+            before = (await request_many(replica.host, replica.port, [
+                {"query": "//tome", "language": "xpath"},
+            ]))[0]
+            ack = (await request_many(replica.host, replica.port, [
+                {"op": "install_generation", "snapshot": snapshot},
+            ]))[0]
+            after = (await request_many(replica.host, replica.port, [
+                {"query": "//tome", "language": "xpath"},
+            ]))[0]
+            return before, ack, after
+
+    before, ack, after = asyncio.run(scenario())
+    assert before["ok"] and before["count"] == 0
+    assert ack["ok"] and ack["installed"]
+    assert ack["counter"] == snapshot["counter"]
+    # The served snapshot refreshed: queries see the installed generation.
+    assert after["ok"] and after["count"] == 1
+    assert after["counter"] == snapshot["counter"]
+
+
+def test_replica_set_records_unreachable_replicas(tmp_path):
+    primary_base, _ = _build_pair(tmp_path)
+
+    async def scenario():
+        replicas = ReplicaSet(timeout=2.0)
+        replicas.register("127.0.0.1", 1)  # nothing listens there
+        return await replicas.ship_current(primary_base)
+
+    report = asyncio.run(scenario())
+    assert report["shipped"] == 0 and report["failed"] == 1
+    (row,) = report["replicas"]
+    assert row["failures"] == 1 and "unreachable" in row["last_error"]
+
+
+# --------------------------------------------------------------------- #
+# Router routing and failover
+# --------------------------------------------------------------------- #
+
+
+def _replica_fleet(tmp_path, primary_base, count):
+    return [
+        _clone_base(primary_base, tmp_path / f"r{i}") for i in range(count)
+    ]
+
+
+def test_router_fans_reads_and_forwards_updates(tmp_path):
+    primary_base, _ = _build_pair(tmp_path)
+    replica_bases = _replica_fleet(tmp_path, primary_base, 2)
+
+    async def scenario():
+        async with (
+            ArbServer(_open_served(primary_base), replication_mode="sync") as primary,
+            ArbServer(_open_served(replica_bases[0])) as r0,
+            ArbServer(_open_served(replica_bases[1])) as r1,
+            ArbRouter(
+                (primary.host, primary.port),
+                [(r0.host, r0.port), (r1.host, r1.port)],
+                ping_interval=0.1,
+            ) as router,
+        ):
+            reads = await request_many(router.host, router.port, [
+                {"query": "//book", "language": "xpath", "ids": True}
+                for _ in range(4)
+            ])
+            update = (await request_many(router.host, router.port, [
+                {"op": "update",
+                 "ops": [{"kind": "relabel", "node": 2, "label": "tome"}]},
+            ]))[0]
+            after = await request_many(router.host, router.port, [
+                {"query": "//tome", "language": "xpath"} for _ in range(4)
+            ])
+            stats = (await request_many(router.host, router.port, [
+                {"op": "router_stats"},
+            ]))[0]
+            return reads, update, after, stats
+
+    reads, update, after, stats = asyncio.run(scenario())
+    assert all(r["ok"] and r["count"] == 2 for r in reads)
+    # A single-connection burst is pinned: exactly one backend saw it, so
+    # it coalesced there into one scan pair.
+    assert reads[0]["coalesced"] and reads[0]["batch_size"] == 4
+    assert update["ok"] and update["replication"]["shipped"] == 2
+    assert all(r["ok"] and r["count"] == 1 for r in after)
+    assert all(r["counter"] == update["counter"] for r in after)
+    assert stats["ok"] and stats["router"]
+    assert len(stats["replicas"]) == 2
+
+
+def test_router_doc_id_routing_is_sticky(tmp_path):
+    """Reads carrying a doc_id ride the hash ring, not the round robin."""
+    primary_base, _ = _build_pair(tmp_path)
+    replica_bases = _replica_fleet(tmp_path, primary_base, 2)
+
+    async def scenario():
+        async with (
+            ArbServer(_open_served(primary_base)) as primary,
+            ArbServer(_open_served(replica_bases[0])) as r0,
+            ArbServer(_open_served(replica_bases[1])) as r1,
+            ArbRouter(
+                (primary.host, primary.port),
+                [(r0.host, r0.port), (r1.host, r1.port)],
+                ping_interval=5.0,  # keep health pings out of the counts
+            ) as router,
+        ):
+            for _ in range(6):
+                (reply,) = await request_many(router.host, router.port, [
+                    {"query": "//book", "language": "xpath",
+                     "doc_id": "always-the-same"},
+                ])
+                assert reply["ok"]
+            stats = (await request_many(router.host, router.port, [
+                {"op": "router_stats"},
+            ]))[0]
+            return stats
+
+    stats = asyncio.run(scenario())
+    requests = sorted(row["requests"] for row in stats["replicas"])
+    # All six hashed reads landed on the one owning replica.
+    assert requests[-1] >= 6 and requests[0] <= 1
+
+
+def test_router_read_failover_is_invisible_to_clients(tmp_path):
+    primary_base, _ = _build_pair(tmp_path)
+    replica_bases = _replica_fleet(tmp_path, primary_base, 2)
+
+    async def scenario():
+        primary = ArbServer(_open_served(primary_base))
+        r0 = ArbServer(_open_served(replica_bases[0]))
+        r1 = ArbServer(_open_served(replica_bases[1]))
+        await primary.start()
+        await r0.start()
+        await r1.start()
+        router = ArbRouter(
+            (primary.host, primary.port),
+            [(r0.host, r0.port), (r1.host, r1.port)],
+            ping_interval=0.1,
+        )
+        await router.start()
+        try:
+            warm = await request_many(router.host, router.port, [
+                {"query": "//book", "language": "xpath"} for _ in range(2)
+            ])
+            assert all(r["ok"] for r in warm)
+            # Kill one replica outright; in-flight and future reads must
+            # transparently retry on the survivor (or the primary).
+            await r0.stop()
+            replies = await request_many(router.host, router.port, [
+                {"query": "//book", "language": "xpath"} for _ in range(6)
+            ])
+            # The health loop (or a failed-over read) marks the dead
+            # replica down within a tick or two.
+            import time
+            deadline = time.monotonic() + 10
+            while True:
+                stats = (await request_many(router.host, router.port, [
+                    {"op": "router_stats"},
+                ]))[0]
+                if any(not row["healthy"] for row in stats["replicas"]):
+                    break
+                assert time.monotonic() < deadline, stats
+                await asyncio.sleep(0.05)
+            return replies, stats
+        finally:
+            await router.stop()
+            await r1.stop()
+            await primary.stop()
+
+    replies, stats = asyncio.run(scenario())
+    assert all(r["ok"] and r["count"] == 2 for r in replies)
+    rows = {row["name"]: row for row in stats["replicas"]}
+    assert any(not row["healthy"] for row in rows.values())
+
+
+def test_router_serves_reads_from_primary_when_all_replicas_die(tmp_path):
+    primary_base, _ = _build_pair(tmp_path)
+    replica_bases = _replica_fleet(tmp_path, primary_base, 1)
+
+    async def scenario():
+        primary = ArbServer(_open_served(primary_base))
+        r0 = ArbServer(_open_served(replica_bases[0]))
+        await primary.start()
+        await r0.start()
+        router = ArbRouter(
+            (primary.host, primary.port),
+            [(r0.host, r0.port)],
+            ping_interval=0.1,
+        )
+        await router.start()
+        try:
+            await r0.stop()
+            return await request_many(router.host, router.port, [
+                {"query": "//book", "language": "xpath"} for _ in range(3)
+            ])
+        finally:
+            await router.stop()
+            await primary.stop()
+
+    replies = asyncio.run(scenario())
+    assert all(r["ok"] and r["count"] == 2 for r in replies)
+
+
+# --------------------------------------------------------------------- #
+# Service-layer bugfix regressions (satellites)
+# --------------------------------------------------------------------- #
+
+
+def test_request_many_surfaces_idless_replies_as_service_error(tmp_path):
+    """A reply without a usable id must raise, not hang under a None key.
+
+    Regression: the read loop stored replies under ``payload.get("id")``;
+    an id-less error reply (e.g. the server answering a malformed line)
+    landed under ``None`` and either KeyError'd the reorder or hung the
+    loop waiting for an answer that already arrived.
+    """
+
+    async def scenario():
+        async def fake_server(reader, writer):
+            await reader.readline()
+            # An id-less error reply, as sent for an unparseable line.
+            writer.write(
+                json.dumps({"ok": False, "error": "bad line"}).encode() + b"\n"
+            )
+            await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(fake_server, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            with pytest.raises(ServiceError, match="id-less"):
+                await request_many(host, port, [{"query": "//book"}])
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_request_many_rejects_unsolicited_ids(tmp_path):
+    async def scenario():
+        async def fake_server(reader, writer):
+            await reader.readline()
+            writer.write(json.dumps({"id": 999, "ok": True}).encode() + b"\n")
+            await writer.drain()
+            writer.close()
+
+        server = await asyncio.start_server(fake_server, "127.0.0.1", 0)
+        host, port = server.sockets[0].getsockname()[:2]
+        try:
+            with pytest.raises(ServiceError, match="unsolicited"):
+                await request_many(host, port, [{"query": "//book"}])
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    asyncio.run(scenario())
+
+
+def test_open_target_directory_without_manifest_is_diagnosed(tmp_path):
+    """Regression: a bare directory fell through to ``Database.open`` and
+    died with a confusing generation-pointer error."""
+    bare = tmp_path / "not-a-collection"
+    bare.mkdir()
+    with pytest.raises(ServiceError, match="without a collection manifest"):
+        open_target(str(bare))

@@ -1,0 +1,312 @@
+"""Multi-process replication soak: kill and restart replicas mid-stream.
+
+The real deployment shape: a primary and two replica ``arb serve``
+subprocesses (ephemeral ports, discovered through ``--ready-file``), with
+an in-process :class:`~repro.replication.ArbRouter` fanning a query stream
+across them.  The soak drives reads and writes through the router while a
+replica is killed outright (SIGKILL, no goodbye) and later restarted from
+its stale on-disk state -- asserting that clients never see a failure,
+that the restarted replica is fenced while stale and catches up via a
+shipped generation, and that every backend converges on byte-identical
+answers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import glob
+import os
+import pathlib
+import shutil
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.replication import ArbRouter
+from repro.service import request_many
+from repro.storage.build import build_database
+
+REPO_SRC = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+DOCUMENT = (
+    "<lib>"
+    + "".join(f"<book id='{i}'><t>title {i}</t></book>" for i in range(20))
+    + "<dvd/></lib>"
+)
+READ = {"query": "//book", "language": "xpath", "ids": True}
+
+
+class _Served:
+    """One ``arb serve`` subprocess, restartable on its original port."""
+
+    def __init__(self, base: str, directory: pathlib.Path, *, sync: bool = False):
+        self.base = base
+        self.directory = directory
+        self.sync = sync
+        self.process: subprocess.Popen | None = None
+        self.host: str | None = None
+        self.port: int = 0
+
+    def start(self) -> "_Served":
+        ready = self.directory / "ready.txt"
+        if ready.exists():
+            ready.unlink()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = REPO_SRC + os.pathsep + env.get("PYTHONPATH", "")
+        command = [
+            sys.executable, "-m", "repro.cli", "serve", self.base,
+            "--port", str(self.port), "--ready-file", str(ready),
+            "--window", "0.1",
+        ]
+        if self.sync:
+            command += ["--replicate", "sync"]
+        self.process = subprocess.Popen(
+            command, env=env,
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        )
+        deadline = time.monotonic() + 30
+        while not ready.exists() or not ready.read_text().strip():
+            if self.process.poll() is not None:
+                raise RuntimeError(
+                    f"arb serve exited early:\n{self.process.stdout.read()}"
+                )
+            if time.monotonic() > deadline:
+                raise RuntimeError("arb serve did not become ready in 30s")
+            time.sleep(0.05)
+        host, port = ready.read_text().split()
+        self.host, self.port = host, int(port)
+        return self
+
+    def kill(self) -> None:
+        """SIGKILL: no graceful goodbye, connections drop mid-flight."""
+        if self.process is not None and self.process.poll() is None:
+            self.process.send_signal(signal.SIGKILL)
+            self.process.wait(timeout=10)
+
+    def stop(self) -> None:
+        if self.process is not None and self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10)
+            except subprocess.TimeoutExpired:  # pragma: no cover - stuck
+                self.process.kill()
+                self.process.wait(timeout=10)
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        return self.host, self.port
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    """A primary (sync shipping) and two replicas, each its own process."""
+    primary_dir = tmp_path / "primary"
+    primary_dir.mkdir()
+    primary_base = str(primary_dir / "db")
+    build_database(DOCUMENT, primary_base)
+    servers = [_Served(primary_base, primary_dir, sync=True)]
+    for index in range(2):
+        replica_dir = tmp_path / f"replica{index}"
+        replica_dir.mkdir()
+        for path in glob.glob(primary_base + "*"):
+            shutil.copy(path, replica_dir)
+        servers.append(_Served(str(replica_dir / "db"), replica_dir))
+    for server in servers:
+        server.start()
+    try:
+        yield servers
+    finally:
+        for server in servers:
+            server.stop()
+
+
+async def _router_for(fleet, **options) -> ArbRouter:
+    primary, *replicas = fleet
+    options.setdefault("ping_interval", 0.1)
+    router = ArbRouter(
+        primary.endpoint,
+        [replica.endpoint for replica in replicas],
+        **options,
+    )
+    await router.start()
+    return router
+
+
+async def _router_stats(router) -> dict:
+    (stats,) = await request_many(
+        router.host, router.port, [{"op": "router_stats"}]
+    )
+    return stats
+
+
+async def _wait_for(condition, *, timeout: float = 30.0, interval: float = 0.1):
+    deadline = time.monotonic() + timeout
+    while True:
+        result = await condition()
+        if result:
+            return result
+        if time.monotonic() > deadline:
+            raise AssertionError("condition not reached within the soak timeout")
+        await asyncio.sleep(interval)
+
+
+@pytest.mark.timeout(120)
+def test_replica_kill_failover_is_invisible_to_clients(fleet):
+    """SIGKILL a replica the router believes healthy: in-flight and
+    subsequent reads must fail over with zero client-visible errors.
+
+    The router runs with health pings effectively off (30s interval), so
+    the death is discovered exactly the interesting way -- by a live read
+    hitting the dead backend -- and the failover-retry path is exercised
+    deterministically, not only when the kill happens to race a burst.
+    """
+    primary, replica0, replica1 = fleet
+
+    async def scenario():
+        router = await _router_for(fleet, ping_interval=30.0)
+        try:
+            # Warm both replicas: two bursts claim consecutive round-robin
+            # slots, so both backend connections are open and serving.
+            expected_ids = None
+            for _ in range(2):
+                burst = await request_many(
+                    router.host, router.port, [dict(READ) for _ in range(4)]
+                )
+                assert all(reply["ok"] for reply in burst), burst
+                expected_ids = burst[0]["selected"][""]
+            stats = await _router_stats(router)
+            assert all(row["requests"] >= 4 for row in stats["replicas"])
+
+            # Kill replica0.  The router has no idea (no health pings for
+            # 30s): the next burst that lands on it must discover the death
+            # mid-request and retry on the survivor, invisibly.
+            replica0.kill()
+            for _ in range(2):  # two bursts: one per round-robin slot
+                replies = await request_many(
+                    router.host, router.port, [dict(READ) for _ in range(15)]
+                )
+                assert all(reply["ok"] for reply in replies), [
+                    reply for reply in replies if not reply["ok"]
+                ]
+                assert all(
+                    reply["selected"][""] == expected_ids for reply in replies
+                )
+
+            stats = await _router_stats(router)
+            assert stats["retries"] >= 1  # the death really was discovered live
+            rows = {row["name"]: row for row in stats["replicas"]}
+            assert not rows[f"{replica0.host}:{replica0.port}"]["healthy"]
+            return stats
+        finally:
+            await router.stop()
+
+    asyncio.run(scenario())
+
+
+@pytest.mark.timeout(120)
+def test_dead_replica_restart_is_fenced_until_caught_up(fleet):
+    """Updates keep flowing with a replica down; its stale restart is
+    fenced, caught up by a shipped generation, and converges byte-identical."""
+    primary, replica0, replica1 = fleet
+
+    async def scenario():
+        router = await _router_for(fleet)
+        try:
+            # A healthy replicated update, then kill replica0.
+            update = (await request_many(router.host, router.port, [
+                {"op": "update",
+                 "ops": [{"kind": "relabel", "node": 2, "label": "tome"}]},
+            ]))[0]
+            assert update["ok"], update
+            # Sync shipping: both replicas acked before the update did.
+            assert update["replication"]["shipped"] == 2, update
+
+            replica0.kill()
+            await _wait_for(lambda: _health_is(router, replica0, False))
+
+            # Updates keep flowing with one replica down; the dead
+            # replica's ship fails but is recorded, not fatal.
+            update = (await request_many(router.host, router.port, [
+                {"op": "update",
+                 "ops": [{"kind": "relabel", "node": 4, "label": "tome"}]},
+            ]))[0]
+            assert update["ok"], update
+            assert update["replication"]["shipped"] >= 1
+
+            reads = await request_many(router.host, router.port, [
+                {"query": "//tome", "language": "xpath"} for _ in range(6)
+            ])
+            assert all(reply["ok"] and reply["count"] == 2 for reply in reads)
+
+            # Restart replica0 from its stale on-disk state.  The health
+            # loop must fence it (its counter lags the primary's), trigger
+            # a catch-up ship, and unfence it once converged.
+            replica0.start()
+            name = f"{replica0.host}:{replica0.port}"
+
+            async def converged():
+                stats = await _router_stats(router)
+                rows = {row["name"]: row for row in stats["replicas"]}
+                row = rows[name]
+                return (
+                    row["healthy"]
+                    and not row["fenced"]
+                    and row["counter"] >= stats["primary_counter"]
+                ) or None
+
+            await _wait_for(converged)
+
+            # Byte-identical convergence -- ask each backend directly and
+            # compare answers and versions.
+            answers = []
+            for server in (primary, replica0, replica1):
+                (reply,) = await request_many(*server.endpoint, [
+                    {"query": "//tome", "language": "xpath", "ids": True},
+                ])
+                assert reply["ok"], reply
+                answers.append(
+                    (reply["selected"], reply["count"], reply["counter"])
+                )
+            assert answers[0] == answers[1] == answers[2]
+        finally:
+            await router.stop()
+
+    asyncio.run(scenario())
+
+
+def _health_is(router, served, healthy):
+    async def check():
+        stats = await _router_stats(router)
+        for row in stats["replicas"]:
+            if row["name"] == f"{served.host}:{served.port}":
+                return (row["healthy"] == healthy) or None
+        return None
+
+    return check()
+
+
+@pytest.mark.timeout(120)
+def test_read_answers_identical_across_replica_count(fleet):
+    """The same burst answered through the router and by the primary
+    directly must select exactly the same nodes."""
+    primary, *_ = fleet
+
+    async def scenario():
+        router = await _router_for(fleet)
+        try:
+            via_router = await request_many(
+                router.host, router.port, [dict(READ) for _ in range(6)]
+            )
+            direct = await request_many(
+                *primary.endpoint, [dict(READ) for _ in range(6)]
+            )
+            assert all(reply["ok"] for reply in via_router + direct)
+            router_ids = [reply["selected"][""] for reply in via_router]
+            direct_ids = [reply["selected"][""] for reply in direct]
+            assert router_ids == direct_ids
+        finally:
+            await router.stop()
+
+    asyncio.run(scenario())
